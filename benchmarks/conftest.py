@@ -1,0 +1,29 @@
+"""Fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at *bench scale*
+(see ``ClusterConfig.bench_scale`` and EXPERIMENTS.md): the topology is
+smaller and the CPU cost model is scaled so the load sweeps saturate after a
+few thousand simulated operations, which keeps a full regeneration affordable
+in pure Python while preserving every qualitative relationship between the
+protocols.
+
+Benchmarks run each figure exactly once (``benchmark.pedantic`` with a single
+round): the interesting output is the regenerated series, which is printed so
+that ``pytest benchmarks/ --benchmark-only -s`` doubles as a reproduction of
+the paper's evaluation section.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.cluster.config import ClusterConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The bench-scale configuration shared by every figure benchmark."""
+    return ClusterConfig.bench_scale(duration_seconds=0.8, warmup_seconds=0.2)

@@ -1,0 +1,47 @@
+"""Figure 5 — Contrarian vs CC-LO under the default workload (1 DC and 2 DCs).
+
+Paper's qualitative results:
+* CC-LO has slightly lower average ROT latency only at the lowest load;
+  past a crossover well below Contrarian's peak, Contrarian is faster.
+* Contrarian's peak throughput exceeds CC-LO's (1.45x with 1 DC, 1.6x with 2).
+* The gap is even larger at the tail (99th percentile).
+* Contrarian scales better from 1 to 2 DCs than CC-LO.
+"""
+
+from repro.harness.figures import figure5_default_workload
+from repro.harness.report import latency_at_lowest_load, peak_throughput
+
+from bench_utils import dump_results, BENCH_SWEEP, run_once
+
+
+def test_figure5_default_workload(benchmark, bench_config):
+    figure = run_once(benchmark, figure5_default_workload,
+                      client_counts=BENCH_SWEEP, config=bench_config)
+    print("\n" + figure.to_text())
+    dump_results("fig5", figure.to_text())
+
+    contrarian_1dc = figure.series["contrarian-1dc"]
+    cclo_1dc = figure.series["cc-lo-1dc"]
+    contrarian_2dc = figure.series["contrarian-2dc"]
+    cclo_2dc = figure.series["cc-lo-2dc"]
+
+    # CC-LO's one-round ROTs win at the lowest load.
+    assert latency_at_lowest_load(cclo_1dc) < latency_at_lowest_load(contrarian_1dc)
+    # Under load the readers-check overhead inverts the comparison: at the
+    # highest load point Contrarian's ROT latency is lower, mean and tail.
+    assert contrarian_1dc[-1].rot_mean_ms < cclo_1dc[-1].rot_mean_ms
+    assert contrarian_1dc[-1].rot_p99_ms < cclo_1dc[-1].rot_p99_ms
+    assert contrarian_2dc[-1].rot_mean_ms < cclo_2dc[-1].rot_mean_ms
+
+    # Contrarian sustains a higher peak throughput in both deployments.
+    assert peak_throughput(contrarian_1dc) > peak_throughput(cclo_1dc)
+    assert peak_throughput(contrarian_2dc) > peak_throughput(cclo_2dc)
+
+    # Contrarian scales better from one to two DCs than CC-LO, whose readers
+    # check is repeated in the remote DC.
+    contrarian_scaling = peak_throughput(contrarian_2dc) / peak_throughput(contrarian_1dc)
+    cclo_scaling = peak_throughput(cclo_2dc) / peak_throughput(cclo_1dc)
+    assert contrarian_scaling > cclo_scaling
+
+    # PUT latency: CC-LO pays for the readers check on every write.
+    assert cclo_1dc[-1].put_mean_ms > contrarian_1dc[-1].put_mean_ms

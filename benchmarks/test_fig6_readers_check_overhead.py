@@ -1,0 +1,39 @@
+"""Figure 6 — ROT ids collected per readers check grow with the client count.
+
+Paper's qualitative result: both the number of distinct ROT ids collected by a
+readers check and the cumulative number exchanged grow linearly with the
+number of clients in the system, matching the Theorem 1 lower bound.
+"""
+
+from repro.harness.figures import figure6_readers_check_overhead
+from repro.theory.lower_bound import verify_bound_against_measurement
+
+from bench_utils import dump_results, BENCH_CLIENT_GROWTH, run_once
+
+
+def test_figure6_readers_check_overhead(benchmark, bench_config):
+    figure = run_once(benchmark, figure6_readers_check_overhead,
+                      client_counts=BENCH_CLIENT_GROWTH, config=bench_config)
+    print("\n" + figure.to_text())
+    dump_results("fig6", figure.to_text())
+
+    rows = figure.extra_rows
+    distinct = [row["distinct_rot_ids_per_check"] for row in rows]
+    cumulative = [row["cumulative_rot_ids_per_check"] for row in rows]
+    clients = [row["clients"] for row in rows]
+
+    # Overhead grows monotonically with the number of clients...
+    assert distinct == sorted(distinct)
+    assert cumulative == sorted(cumulative)
+    # ...and roughly linearly: quadrupling the clients should at least double
+    # the ids exchanged (a sub-linear curve would contradict the theorem).
+    growth = distinct[-1] / max(distinct[0], 1e-9)
+    client_growth = clients[-1] / clients[0]
+    assert growth > client_growth / 2
+    # The cumulative count is never below the distinct count.
+    assert all(c >= d for c, d in zip(cumulative, distinct))
+
+    # The measured communication satisfies the Lemma 2 lower bound (|D| bits).
+    for result in figure.series["cc-lo"]:
+        comparison = verify_bound_against_measurement(result)
+        assert comparison.measured_exceeds_bound

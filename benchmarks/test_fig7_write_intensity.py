@@ -1,0 +1,42 @@
+"""Figure 7 — effect of the write/read ratio w (single DC).
+
+Paper's qualitative results: higher write intensity hurts CC-LO much more
+than Contrarian because every PUT triggers a readers check; the extremely
+read-heavy w=0.01 case is the only regime where CC-LO's throughput remains
+competitive.  Contrarian's throughput grows with w (PUTs are cheaper than
+ROTs), while CC-LO's shrinks.
+"""
+
+from repro.harness.figures import figure7_write_intensity
+from repro.harness.report import peak_throughput
+
+from bench_utils import dump_results, BENCH_SWEEP, run_once
+
+
+def test_figure7_write_intensity(benchmark, bench_config):
+    figure = run_once(benchmark, figure7_write_intensity,
+                      client_counts=BENCH_SWEEP,
+                      write_ratios=(0.01, 0.05, 0.1),
+                      num_dcs=1, config=bench_config)
+    print("\n" + figure.to_text())
+    dump_results("fig7", figure.to_text())
+
+    contrarian_peaks = {w: peak_throughput(figure.series[f"contrarian-w{w}"])
+                        for w in (0.01, 0.05, 0.1)}
+    cclo_peaks = {w: peak_throughput(figure.series[f"cc-lo-w{w}"])
+                  for w in (0.01, 0.05, 0.1)}
+
+    # Contrarian's peak throughput does not suffer from more writes...
+    assert contrarian_peaks[0.1] >= contrarian_peaks[0.01] * 0.9
+    # ...whereas CC-LO's peak degrades as the write intensity grows.
+    assert cclo_peaks[0.1] < cclo_peaks[0.01]
+
+    # The throughput advantage of Contrarian widens with the write intensity.
+    advantage = {w: contrarian_peaks[w] / cclo_peaks[w] for w in (0.01, 0.1)}
+    assert advantage[0.1] > advantage[0.01]
+
+    # Under load, Contrarian's ROT latency is lower for every write ratio.
+    for w in (0.01, 0.05, 0.1):
+        contrarian = figure.series[f"contrarian-w{w}"]
+        cclo = figure.series[f"cc-lo-w{w}"]
+        assert contrarian[-1].rot_mean_ms < cclo[-1].rot_mean_ms

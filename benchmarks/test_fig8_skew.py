@@ -1,0 +1,41 @@
+"""Figure 8 — effect of the skew in data popularity (single DC).
+
+Paper's qualitative results: the skew barely affects Contrarian, whereas it
+hampers CC-LO because hot keys accumulate long, fresh old-reader records and
+longer causal dependency chains, making readers checks more expensive.
+"""
+
+from repro.harness.figures import figure8_skew
+from repro.harness.report import peak_throughput
+
+from bench_utils import dump_results, BENCH_SWEEP, run_once
+
+
+def test_figure8_skew(benchmark, bench_config):
+    figure = run_once(benchmark, figure8_skew, client_counts=BENCH_SWEEP,
+                      skews=(0.0, 0.99), config=bench_config)
+    print("\n" + figure.to_text())
+    dump_results("fig8", figure.to_text())
+
+    contrarian_uniform = peak_throughput(figure.series["contrarian-z0.0"])
+    contrarian_skewed = peak_throughput(figure.series["contrarian-z0.99"])
+    cclo_uniform = peak_throughput(figure.series["cc-lo-z0.0"])
+    cclo_skewed = peak_throughput(figure.series["cc-lo-z0.99"])
+
+    # Contrarian is essentially insensitive to the skew (within 25%).
+    assert abs(contrarian_skewed - contrarian_uniform) / contrarian_uniform < 0.25
+    # Contrarian beats CC-LO at both skew levels, and CC-LO's disadvantage is
+    # at least as large under the skewed workload.
+    assert contrarian_skewed > cclo_skewed
+    assert contrarian_uniform > cclo_uniform
+    assert (contrarian_skewed / cclo_skewed) >= (contrarian_uniform / cclo_uniform) * 0.9
+
+    # Skew inflates the old-reader records CC-LO ships around.
+    skewed_ids = figure.series["cc-lo-z0.99"][-1].overhead.average_distinct_ids_per_check()
+    uniform_ids = figure.series["cc-lo-z0.0"][-1].overhead.average_distinct_ids_per_check()
+    assert skewed_ids >= uniform_ids * 0.9
+
+    # Under load, Contrarian's ROT latency is lower at every skew level.
+    for skew in (0.0, 0.99):
+        assert figure.series[f"contrarian-z{skew}"][-1].rot_mean_ms < \
+            figure.series[f"cc-lo-z{skew}"][-1].rot_mean_ms

@@ -1,0 +1,37 @@
+"""Section 5.8 — effect of the value size (single DC, no figure in the paper).
+
+Paper's qualitative results: larger values add CPU and network cost for both
+systems, which shrinks the relative performance gap; even with large items
+Contrarian's ROT latency stays lower than or comparable to CC-LO's and its
+throughput stays higher (the paper reports +43% at b=2048).
+"""
+
+from repro.harness.figures import section58_value_size
+from repro.harness.report import peak_throughput
+
+from bench_utils import dump_results, BENCH_SWEEP, run_once
+
+
+def test_section58_value_size(benchmark, bench_config):
+    figure = run_once(benchmark, section58_value_size, client_counts=BENCH_SWEEP,
+                      value_sizes=(8, 2048), config=bench_config)
+    print("\n" + figure.to_text())
+    dump_results("sec58", figure.to_text())
+
+    def ratio(value_size):
+        return (peak_throughput(figure.series[f"contrarian-b{value_size}"])
+                / peak_throughput(figure.series[f"cc-lo-b{value_size}"]))
+
+    # Larger values slow both systems down in absolute terms.
+    assert peak_throughput(figure.series["contrarian-b2048"]) < \
+        peak_throughput(figure.series["contrarian-b8"])
+    assert peak_throughput(figure.series["cc-lo-b2048"]) < \
+        peak_throughput(figure.series["cc-lo-b8"])
+    # Contrarian stays ahead on throughput at both sizes...
+    assert ratio(8) > 1.0
+    assert ratio(2048) > 1.0
+    # ...and the relative gap shrinks with the larger items.
+    assert ratio(2048) < ratio(8)
+    # Under load Contrarian's ROT latency remains lower or comparable.
+    assert figure.series["contrarian-b2048"][-1].rot_mean_ms <= \
+        figure.series["cc-lo-b2048"][-1].rot_mean_ms * 1.1

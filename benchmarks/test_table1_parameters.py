@@ -1,0 +1,21 @@
+"""Table 1 — workload parameters considered in the evaluation.
+
+Regenerates the parameter table and verifies that every single-axis variation
+of the default workload can actually be generated (the grid the other
+benchmarks sweep over).
+"""
+
+from repro.harness.tables import table1_workloads
+from repro.workload.parameters import DEFAULT_WORKLOAD, table1_grid
+
+from bench_utils import dump_results, run_once
+
+
+def test_table1_parameter_grid(benchmark):
+    text = run_once(benchmark, table1_workloads)
+    print("\n" + text)
+    dump_results("table1", text)
+    assert "0.05*" in text and "0.99*" in text
+    grid = table1_grid()
+    assert DEFAULT_WORKLOAD in grid
+    assert len(grid) == 9

@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Makes the in-tree ``src`` layout importable even when the package has not
+been installed (e.g. on an offline machine where ``pip install -e .`` cannot
+build an editable wheel).  When the package *is* installed, the installed
+copy and this path point at the same files, so the shim is harmless.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

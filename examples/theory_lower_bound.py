@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The Theorem 1 construction, executed (Section 6 of the paper).
+
+Walks through the proof's ingredients on an abstract two-partition system:
+
+1. For a protocol that communicates reader identities (what COPS-SNOW does),
+   every distinct subset of readers produces distinct inter-partition
+   communication (Lemma 1), and no schedule yields an inconsistent snapshot.
+2. For the straw-man protocol that only ships a Lamport timestamp, many
+   subsets collide on the same communication, and the E* schedule makes an
+   old reader observe the forbidden snapshot (X0, Y1).
+3. The counting argument of Lemma 2: 2^|D| executions that must all differ
+   imply at least |D| bits of communication in the worst case — linear in the
+   number of clients.
+
+Run with::
+
+    python examples/theory_lower_bound.py
+"""
+
+from repro.harness.report import format_table
+from repro.theory import (
+    LamportOnlyProtocol,
+    ReaderTrackingProtocol,
+    build_execution,
+    executions_count,
+    find_causal_violation,
+    lemma1_holds,
+    lower_bound_bits,
+)
+
+CLIENTS = ("c1", "c2", "c3", "c4", "c5", "c6")
+
+
+def demonstrate_lemma1() -> None:
+    print("=== Lemma 1: different readers must induce different communication ===")
+    tracking = ReaderTrackingProtocol()
+    strawman = LamportOnlyProtocol()
+    print(f"reader-tracking protocol satisfies Lemma 1: "
+          f"{lemma1_holds(tracking, CLIENTS)}")
+    print(f"Lamport-only straw man satisfies Lemma 1:   "
+          f"{lemma1_holds(strawman, CLIENTS)}")
+    example = build_execution(tracking, CLIENTS[:3])
+    print(f"example communication for readers {sorted(example.readers)}: "
+          f"{example.signature}")
+
+
+def demonstrate_estar() -> None:
+    print("\n=== The E* schedule: what goes wrong without reader communication ===")
+    violation = find_causal_violation(LamportOnlyProtocol(), CLIENTS)
+    assert violation is not None
+    client, snapshot = next(iter(violation.late_read_results.items()))
+    print(f"straw-man protocol: client {client} reads x and y and observes "
+          f"{snapshot} — X0 together with Y1 even though X0 -> X1 -> Y1, "
+          f"a causally inconsistent snapshot.")
+    safe = find_causal_violation(ReaderTrackingProtocol(), CLIENTS)
+    print(f"reader-tracking protocol: violating execution found? {safe is not None}")
+
+
+def demonstrate_lemma2() -> None:
+    print("\n=== Lemma 2: the communication grows linearly with the clients ===")
+    def pretty_count(clients: int) -> str:
+        # 2^560 has 169 decimal digits; keep the table readable.
+        value = executions_count(clients)
+        return str(value) if clients <= 20 else f"2^{clients} (~1e{len(str(value)) - 1})"
+
+    rows = [[clients, pretty_count(clients), lower_bound_bits(clients)]
+            for clients in (4, 16, 64, 256, 560)]
+    print(format_table(["clients |D|", "executions 2^|D|", "worst-case bits"],
+                       rows))
+    print("560 clients per DC is the largest population in the paper's "
+          "Figure 6; the measured readers checks there carried hundreds of "
+          "ROT ids (thousands of bits), comfortably above the bound.")
+
+
+def main() -> None:
+    demonstrate_lemma1()
+    demonstrate_estar()
+    demonstrate_lemma2()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older toolchains (and offline machines)
+that cannot build PEP-517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

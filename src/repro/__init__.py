@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Causal Consistency and Latency Optimality:
+Friend or Foe?" (Didona, Guerraoui, Wang, Zwaenepoel — VLDB 2018).
+
+The package contains:
+
+* the **Contrarian** protocol (the paper's contribution) plus the **Cure**
+  and **CC-LO / COPS-SNOW** baselines, all running on a discrete-event
+  simulation of a partitioned, optionally geo-replicated key-value store;
+* a workload generator and experiment harness that regenerate every table
+  and figure of the paper's evaluation section; and
+* an executable rendition of the paper's theoretical result (Theorem 1: the
+  cost of latency-optimal ROTs grows linearly with the number of clients).
+
+Quickstart::
+
+    from repro import CausalStore
+
+    store = CausalStore(protocol="contrarian")
+    store.put("album:acl")
+    store.put("album:photos")
+    print(store.rot(["album:acl", "album:photos"]).values)
+
+    from repro.harness import run_experiment
+    outcome = run_experiment("contrarian")
+    print(outcome.result.as_row())
+"""
+
+from repro.api import CausalStore, OperationResult
+from repro.cluster.config import ClusterConfig
+from repro.errors import (
+    ConfigurationError,
+    ConsistencyViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    TheoryError,
+    WorkloadError,
+)
+from repro.metrics.collectors import RunResult
+from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CausalStore",
+    "ClusterConfig",
+    "ConfigurationError",
+    "ConsistencyViolation",
+    "DEFAULT_WORKLOAD",
+    "OperationResult",
+    "ProtocolError",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "StorageError",
+    "TheoryError",
+    "WorkloadError",
+    "WorkloadParameters",
+    "__version__",
+]

@@ -1,0 +1,193 @@
+"""High-level public API.
+
+Most users interact with the library through three entry points:
+
+* :class:`CausalStore` — an in-process facade over a simulated cluster that
+  exposes the paper's API (``put``, ``get``, ``rot``) for a chosen protocol.
+  It drives the simulator under the hood, so calls return immediately with
+  the values the protocol would produce, and the simulated latency of every
+  operation is available for inspection.
+* :func:`repro.harness.run_experiment` / :func:`repro.harness.load_sweep` —
+  workload-driven performance runs (what the figures use).
+* :mod:`repro.harness.figures` / :mod:`repro.harness.tables` — regenerate the
+  paper's evaluation.
+
+``CausalStore`` is meant for correctness-oriented exploration (examples,
+tests, teaching); the harness is meant for performance studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.causal.checker import CheckerReport
+from repro.cluster.config import ClusterConfig
+from repro.core.common.messages import ReadResult
+from repro.errors import ConfigurationError
+from repro.harness.builder import BuiltCluster, build_cluster
+from repro.workload.parameters import WorkloadParameters
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of one facade operation."""
+
+    kind: str
+    keys: tuple[str, ...]
+    values: dict[str, Optional[int]]
+    latency_ms: float
+
+
+class CausalStore:
+    """A causally consistent key-value store driven step-by-step.
+
+    The facade creates a single "interactive" client per session.  Every call
+    advances the simulation until the operation completes, then returns.  The
+    store validates the recorded history on demand via :meth:`check`.
+
+    Parameters
+    ----------
+    protocol:
+        ``"contrarian"`` (default), ``"cure"`` or ``"cc-lo"``.
+    num_partitions / num_dcs:
+        Topology of the simulated cluster.
+    config:
+        Full configuration; overrides the two convenience parameters.
+    """
+
+    def __init__(self, protocol: str = "contrarian", *,
+                 num_partitions: int = 4, num_dcs: int = 1,
+                 config: Optional[ClusterConfig] = None) -> None:
+        self.protocol = protocol
+        base = config or ClusterConfig.test_scale(num_partitions=num_partitions,
+                                                  num_dcs=num_dcs,
+                                                  clients_per_dc=1)
+        # The facade issues operations itself, so the built-in workload-driven
+        # clients must stay idle: one client per DC is created but never
+        # started.
+        self._cluster: BuiltCluster = build_cluster(
+            protocol, base, WorkloadParameters(rot_size=1), enable_checker=True)
+        for server in self._cluster.topology.all_servers():
+            server.start()
+        self._clients = {dc: self._cluster.topology.clients_in_dc(dc)[0]
+                         for dc in range(base.num_dcs)}
+        self._results: list[OperationResult] = []
+
+    # ------------------------------------------------------------------ sugar
+    @property
+    def cluster(self) -> BuiltCluster:
+        """The underlying simulated cluster (for inspection)."""
+        return self._cluster
+
+    @property
+    def history(self) -> list[OperationResult]:
+        """Every operation performed through this facade, in order."""
+        return list(self._results)
+
+    def _client(self, dc: int):
+        try:
+            return self._clients[dc]
+        except KeyError as exc:
+            raise ConfigurationError(f"no client attached to DC {dc}") from exc
+
+    # ------------------------------------------------------------- operations
+    def put(self, key: str, value_size: int = 8, *, dc: int = 0) -> OperationResult:
+        """Create a new version of ``key`` and wait for the PUT to complete."""
+        client = self._client(dc)
+        operation = _SyntheticOperation(kind="put", keys=(key,),
+                                        value_size=value_size)
+        return self._drive(client, operation)
+
+    def rot(self, keys: Sequence[str], *, dc: int = 0) -> OperationResult:
+        """Read ``keys`` from a causally consistent snapshot."""
+        client = self._client(dc)
+        operation = _SyntheticOperation(kind="rot", keys=tuple(keys),
+                                        value_size=8)
+        return self._drive(client, operation)
+
+    def get(self, key: str, *, dc: int = 0) -> Optional[int]:
+        """Read a single key (a ROT of size one); returns the version timestamp."""
+        return self.rot([key], dc=dc).values[key]
+
+    def _drive(self, client, operation) -> OperationResult:
+        sim = self._cluster.sim
+        started = sim.now
+        done: dict[str, object] = {}
+
+        original_complete_rot = client.complete_rot
+        original_complete_put = client.complete_put
+        original_issue_next = client._issue_next
+
+        def capture_rot(rot_id: str, results: dict[str, ReadResult]) -> None:
+            done["values"] = {result.key: result.timestamp
+                              for result in results.values()}
+            original_complete_rot(rot_id, results)
+
+        def capture_put(key: str, timestamp: int, origin_dc: int) -> None:
+            done["values"] = {key: timestamp}
+            original_complete_put(key, timestamp, origin_dc)
+
+        def no_next() -> None:
+            # The facade issues operations explicitly; suppress the closed loop.
+            return None
+
+        client.complete_rot = capture_rot
+        client.complete_put = capture_put
+        client._issue_next = no_next
+        try:
+            client.sequence += 1
+            client.metrics.note_issue(operation.kind == "put")
+            client._op_started_at = sim.now
+            if operation.kind == "put":
+                client.issue_put(operation)
+            else:
+                client.issue_rot(operation)
+            guard = 0
+            while "values" not in done:
+                if not sim.step():
+                    raise ConfigurationError(
+                        "the simulation ran out of events before the operation "
+                        "completed; this indicates a protocol bug")
+                guard += 1
+                if guard > 5_000_000:
+                    raise ConfigurationError("operation did not complete")
+        finally:
+            client.complete_rot = original_complete_rot
+            client.complete_put = original_complete_put
+            client._issue_next = original_issue_next
+        result = OperationResult(kind=operation.kind, keys=operation.keys,
+                                 values=dict(done["values"]),
+                                 latency_ms=(sim.now - started) * 1000.0)
+        self._results.append(result)
+        return result
+
+    # ------------------------------------------------------------------ audit
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time (lets replication and stabilization run)."""
+        self._cluster.sim.run(until=self._cluster.sim.now + seconds)
+
+    def check(self) -> CheckerReport:
+        """Validate the recorded history against causal consistency."""
+        assert self._cluster.checker is not None
+        return self._cluster.checker.check()
+
+
+@dataclass(frozen=True)
+class _SyntheticOperation:
+    """Minimal stand-in for a workload operation used by the facade."""
+
+    kind: str
+    keys: tuple[str, ...]
+    value_size: int
+
+    @property
+    def is_put(self) -> bool:
+        return self.kind == "put"
+
+    @property
+    def is_rot(self) -> bool:
+        return self.kind == "rot"
+
+
+__all__ = ["CausalStore", "OperationResult"]

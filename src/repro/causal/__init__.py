@@ -1,0 +1,22 @@
+"""Causality metadata: dependency vectors, snapshots, stabilization, checking."""
+
+from repro.causal.checker import CausalConsistencyChecker, CheckerReport
+from repro.causal.dependencies import ClientDependencyContext
+from repro.causal.stabilization import GlobalStableSnapshot
+from repro.causal.vectors import (
+    entrywise_max,
+    entrywise_min,
+    vector_leq,
+    zero_vector,
+)
+
+__all__ = [
+    "CausalConsistencyChecker",
+    "CheckerReport",
+    "ClientDependencyContext",
+    "GlobalStableSnapshot",
+    "entrywise_max",
+    "entrywise_min",
+    "vector_leq",
+    "zero_vector",
+]

@@ -1,0 +1,83 @@
+"""Vector-clock style helpers used by Contrarian and Cure.
+
+Both protocols encode causality with *per-DC* vectors (Section 4): items carry
+a dependency vector ``DV`` with one entry per data center, servers maintain a
+version vector ``VV`` and the stabilization protocol computes the Global
+Stable Snapshot ``GSS`` as the entry-wise minimum of all ``VV`` in a DC.
+
+Vectors are represented as plain tuples of ints so they can be stored on
+frozen dataclasses and compared cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ProtocolError
+
+
+def zero_vector(num_dcs: int) -> tuple[int, ...]:
+    """An all-zero vector with one entry per data center."""
+    if num_dcs < 1:
+        raise ProtocolError(f"a vector needs at least one entry, got {num_dcs}")
+    return (0,) * num_dcs
+
+
+def _check_same_length(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ProtocolError(
+            f"vector length mismatch: {len(a)} vs {len(b)} ({a!r} vs {b!r})")
+
+
+def entrywise_max(a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+    """Entry-wise maximum of two vectors."""
+    _check_same_length(a, b)
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+def entrywise_min(a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+    """Entry-wise minimum of two vectors."""
+    _check_same_length(a, b)
+    return tuple(min(x, y) for x, y in zip(a, b))
+
+
+def entrywise_min_all(vectors: Iterable[Sequence[int]]) -> tuple[int, ...]:
+    """Entry-wise minimum of a non-empty collection of vectors."""
+    result: tuple[int, ...] | None = None
+    for vector in vectors:
+        if result is None:
+            result = tuple(vector)
+        else:
+            result = entrywise_min(result, vector)
+    if result is None:
+        raise ProtocolError("entrywise_min_all requires at least one vector")
+    return result
+
+
+def vector_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Whether ``a`` <= ``b`` entry-wise.
+
+    This is the snapshot-membership test: an item with dependency vector
+    ``DV`` belongs to the snapshot ``SV`` iff ``vector_leq(DV, SV)``.
+    """
+    _check_same_length(a, b)
+    return all(x <= y for x, y in zip(a, b))
+
+
+def with_entry(vector: Sequence[int], index: int, value: int) -> tuple[int, ...]:
+    """Return a copy of ``vector`` with ``vector[index]`` replaced by ``value``."""
+    if not 0 <= index < len(vector):
+        raise ProtocolError(f"index {index} out of range for vector of length {len(vector)}")
+    result = list(vector)
+    result[index] = value
+    return tuple(result)
+
+
+__all__ = [
+    "entrywise_max",
+    "entrywise_min",
+    "entrywise_min_all",
+    "vector_leq",
+    "with_entry",
+    "zero_vector",
+]

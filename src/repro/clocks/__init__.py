@@ -1,0 +1,24 @@
+"""Clock implementations used by the protocols.
+
+Three clock families appear in the paper (Table 2, Section 4):
+
+* **Logical (Lamport) clocks** — used by COPS, Eiger and CC-LO/COPS-SNOW.
+* **Physical clocks with bounded skew** — used by GentleRain, Cure and POCC;
+  they make ROTs blocking because a server cannot move a physical clock
+  forward to match a snapshot timestamp.
+* **Hybrid Logical Physical Clocks (HLC)** — used by Contrarian: they advance
+  with the physical clock (fresh snapshots) but can also be pushed forward
+  like a logical clock (nonblocking ROTs).
+"""
+
+from repro.clocks.hlc import HybridLogicalClock, HLCTimestamp
+from repro.clocks.lamport import LamportClock
+from repro.clocks.physical import PhysicalClock, SkewModel
+
+__all__ = [
+    "HLCTimestamp",
+    "HybridLogicalClock",
+    "LamportClock",
+    "PhysicalClock",
+    "SkewModel",
+]

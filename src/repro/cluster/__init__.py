@@ -1,0 +1,6 @@
+"""Cluster topology, configuration and key partitioning."""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.partitioning import HashPartitioner
+
+__all__ = ["ClusterConfig", "HashPartitioner"]

@@ -1,0 +1,82 @@
+"""Deterministic key-to-partition assignment.
+
+The paper's system model (Section 2.3) shards the data set into ``N > 1``
+partitions by a hash function; each key is deterministically assigned to one
+partition, a PUT is sent to that partition and a ROT fans out to the
+partitions storing the requested keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+
+class HashPartitioner:
+    """Maps keys to partition indices with a stable hash.
+
+    Python's built-in ``hash`` is randomised per process, so a stable digest
+    (blake2b) is used instead; partition assignment must be identical across
+    runs for experiments to be reproducible.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"need at least one partition, got {num_partitions}")
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    @staticmethod
+    def structured_key(partition: int, index: int) -> str:
+        """Build a key whose partition assignment is explicit.
+
+        The workload generator mirrors the paper's setup of "one key per
+        partition per ROT, 1M keys per partition"; generating millions of keys
+        by rejection sampling against a hash would be wasteful, so structured
+        keys encode their partition directly (``"<partition>:<index>"``) and
+        :meth:`partition_of` honours the encoding.
+        """
+        return f"{partition}:{index}"
+
+    def partition_of(self, key: str) -> int:
+        """Partition index that stores ``key``."""
+        head, separator, _ = key.partition(":")
+        if separator and head.isdigit():
+            return int(head) % self._num_partitions
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self._num_partitions
+
+    def group_by_partition(self, keys: list[str]) -> dict[int, list[str]]:
+        """Group ``keys`` by the partition that stores them (order preserved)."""
+        groups: dict[int, list[str]] = {}
+        for key in keys:
+            groups.setdefault(self.partition_of(key), []).append(key)
+        return groups
+
+    def keys_for_partition(self, partition: int, num_keys: int,
+                           prefix: str = "key") -> list[str]:
+        """Generate ``num_keys`` distinct keys that hash to ``partition``.
+
+        Used by the workload generator so that a ROT spanning ``p`` partitions
+        can pick exactly one key on each of ``p`` distinct partitions, as in
+        the paper's workloads.
+        """
+        if not 0 <= partition < self._num_partitions:
+            raise ConfigurationError(
+                f"partition {partition} out of range [0, {self._num_partitions})")
+        found: list[str] = []
+        candidate = 0
+        while len(found) < num_keys:
+            key = f"{prefix}-{candidate}"
+            if self.partition_of(key) == partition:
+                found.append(key)
+            candidate += 1
+        return found
+
+
+__all__ = ["HashPartitioner"]

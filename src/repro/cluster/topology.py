@@ -1,0 +1,109 @@
+"""Cluster topology container.
+
+A :class:`ClusterTopology` holds the simulated pieces of one run: the
+simulator, the network, the partition servers of every DC and the closed-loop
+clients.  It is populated by the harness builder
+(:mod:`repro.harness.builder`) once the protocol is chosen; protocol code only
+uses the lookup methods (``server_for_key``, ``replicas_of`` ...), never the
+construction details.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.partitioning import HashPartitioner
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.common.client import BaseClient
+    from repro.core.common.server import PartitionServer
+
+
+class ClusterTopology:
+    """All simulated nodes of one run, indexed by DC and partition."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 config: ClusterConfig) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.partitioner = HashPartitioner(config.num_partitions)
+        self._servers: dict[tuple[int, int], "PartitionServer"] = {}
+        self._clients: list["BaseClient"] = []
+        self._clients_by_id: dict[str, "BaseClient"] = {}
+
+    # ---------------------------------------------------------------- servers
+    def add_server(self, server: "PartitionServer") -> None:
+        """Register a partition server at ``(server.dc_id, server.partition_index)``."""
+        slot = (server.dc_id, server.partition_index)
+        if slot in self._servers:
+            raise ConfigurationError(f"duplicate server for DC/partition {slot}")
+        self._servers[slot] = server
+
+    def server(self, dc: int, partition: int) -> "PartitionServer":
+        """The server hosting ``partition`` in data center ``dc``."""
+        try:
+            return self._servers[(dc, partition)]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no server registered for DC {dc} partition {partition}") from exc
+
+    def server_for_key(self, dc: int, key: str) -> "PartitionServer":
+        """The server storing ``key`` in data center ``dc``."""
+        return self.server(dc, self.partitioner.partition_of(key))
+
+    def servers_in_dc(self, dc: int) -> list["PartitionServer"]:
+        """All partition servers in data center ``dc``, ordered by partition."""
+        return [self._servers[(dc, partition)]
+                for partition in range(self.config.num_partitions)
+                if (dc, partition) in self._servers]
+
+    def all_servers(self) -> Iterator["PartitionServer"]:
+        """All partition servers across every DC."""
+        return iter(self._servers.values())
+
+    def replicas_of(self, dc: int, partition: int) -> list["PartitionServer"]:
+        """The replicas of ``partition`` in every data center other than ``dc``."""
+        return [self._servers[(other_dc, partition)]
+                for other_dc in range(self.config.num_dcs)
+                if other_dc != dc and (other_dc, partition) in self._servers]
+
+    # ---------------------------------------------------------------- clients
+    def add_client(self, client: "BaseClient") -> None:
+        """Register a closed-loop client."""
+        self._clients.append(client)
+        self._clients_by_id[client.node_id] = client
+
+    def client_by_id(self, node_id: str) -> "BaseClient":
+        """Look up a client by its node identifier (used to route replies)."""
+        try:
+            return self._clients_by_id[node_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown client {node_id!r}") from exc
+
+    @property
+    def clients(self) -> list["BaseClient"]:
+        return list(self._clients)
+
+    def clients_in_dc(self, dc: int) -> list["BaseClient"]:
+        """Clients attached to data center ``dc``."""
+        return [client for client in self._clients if client.dc_id == dc]
+
+    # ------------------------------------------------------------------ stats
+    def total_server_busy_time(self) -> float:
+        """Sum of CPU busy time across all partition servers."""
+        return sum(server.stats.busy_time for server in self._servers.values())
+
+    def average_cpu_utilization(self, elapsed: float) -> float:
+        """Mean CPU utilisation across partition servers."""
+        servers = list(self._servers.values())
+        if not servers or elapsed <= 0:
+            return 0.0
+        return sum(server.stats.utilization(elapsed) for server in servers) / len(servers)
+
+
+__all__ = ["ClusterTopology"]

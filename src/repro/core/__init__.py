@@ -1,0 +1,16 @@
+"""Protocol implementations.
+
+* :mod:`repro.core.contrarian` — the paper's contribution: nonblocking,
+  one-version ROTs in 1½ (or 2) rounds using HLCs and the GSS stabilization
+  protocol, with cheap PUTs.
+* :mod:`repro.core.cure` — the Cure baseline: the same coordinator-based
+  design but with physical clocks and two rounds, which makes ROTs blocking
+  under clock skew.
+* :mod:`repro.core.cclo` — the latency-optimal baseline (the COPS-SNOW
+  design, called CC-LO in the paper): one-round, one-version, nonblocking
+  ROTs paid for by the readers check performed on every PUT.
+"""
+
+from repro.core.registry import PROTOCOLS, protocol_properties
+
+__all__ = ["PROTOCOLS", "protocol_properties"]

@@ -1,0 +1,20 @@
+"""CC-LO — the latency-optimal baseline (the COPS-SNOW design).
+
+CC-LO implements ROTs that are nonblocking, one-version and **one-round** —
+the three properties the SNOW paper calls latency-optimal.  The price is paid
+on PUTs: before a PUT completes, the writing partition must collect from every
+partition storing one of the PUT's causal dependencies the identifiers of the
+"old readers" — the ROTs that observed a snapshot which must not include the
+new version — and attach them to the version (the *readers check*).  The
+paper's two published optimisations are implemented and on by default:
+aggressive garbage collection of reader records (500 ms instead of 5 s) and
+at most one ROT id per client in each readers-check response.
+"""
+
+from repro.core.cclo.client import CcloClient
+from repro.core.cclo.readers import ReaderRecords
+from repro.core.cclo.server import CcloServer
+
+PROTOCOL_NAME = "cc-lo"
+
+__all__ = ["CcloClient", "CcloServer", "PROTOCOL_NAME", "ReaderRecords"]

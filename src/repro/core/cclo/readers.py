@@ -1,0 +1,172 @@
+"""Reader and old-reader records for CC-LO (the COPS-SNOW design).
+
+Every partition remembers, per key:
+
+* the **current readers** — ROT ids that read the latest visible version,
+  together with the logical time of the read; and
+* the **old readers** — ROT ids that read a version that has since been
+  overwritten (or that were served an older version because they were barred
+  from the latest one).  These are the ids a readers check collects.
+
+The records implement the paper's two CC-LO optimisations: entries are
+garbage-collected ``gc_window`` seconds after they become old readers, and a
+readers-check response can be compressed to at most one ROT id per client
+(the most recent one), which is safe because a client has at most one ROT in
+flight at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ReaderEntry:
+    """One recorded read: who read, when (logical time), and for which client."""
+
+    rot_id: str
+    client_id: str
+    logical_time: int
+    recorded_at: float
+
+
+class ReaderRecords:
+    """Per-partition reader bookkeeping."""
+
+    def __init__(self, gc_window_seconds: float, one_id_per_client: bool) -> None:
+        self._gc_window = gc_window_seconds
+        self._one_id_per_client = one_id_per_client
+        self._current: dict[str, dict[str, ReaderEntry]] = {}
+        self._old: dict[str, dict[str, ReaderEntry]] = {}
+        self.entries_expired = 0
+
+    # --------------------------------------------------------------- recording
+    def record_current_reader(self, key: str, rot_id: str, client_id: str,
+                              logical_time: int, now: float) -> None:
+        """Record that ``rot_id`` read the latest visible version of ``key``."""
+        self._current.setdefault(key, {})[rot_id] = ReaderEntry(
+            rot_id=rot_id, client_id=client_id, logical_time=logical_time,
+            recorded_at=now)
+
+    def record_old_reader(self, key: str, rot_id: str, client_id: str,
+                          logical_time: int, now: float) -> None:
+        """Record that ``rot_id`` was served an *older* version of ``key``.
+
+        This happens when the ROT was barred from the latest version by an
+        old-reader record attached to it; the ROT must then also be barred
+        from any future version that causally depends on the versions it
+        missed, so it is added to the old readers of the key directly.
+        """
+        self._old.setdefault(key, {})[rot_id] = ReaderEntry(
+            rot_id=rot_id, client_id=client_id, logical_time=logical_time,
+            recorded_at=now)
+
+    def on_version_visible(self, key: str, now: float) -> int:
+        """A new version of ``key`` became visible: demote its current readers.
+
+        Every ROT that read the previously-latest version now has read a
+        version that is no longer the most recent one, i.e. it became an old
+        reader of ``key``.  Returns the number of demoted entries.
+        """
+        readers = self._current.pop(key, None)
+        if not readers:
+            return 0
+        bucket = self._old.setdefault(key, {})
+        for rot_id, entry in readers.items():
+            bucket[rot_id] = ReaderEntry(rot_id=entry.rot_id,
+                                         client_id=entry.client_id,
+                                         logical_time=entry.logical_time,
+                                         recorded_at=now)
+        return len(readers)
+
+    # --------------------------------------------------------------- queries
+    def old_readers_of(self, key: str, now: float) -> list[tuple[str, int]]:
+        """Old readers of ``key`` for a readers-check response.
+
+        Applies the GC window (stale entries are dropped lazily) and, when
+        enabled, the one-id-per-client compression.
+        """
+        bucket = self._old.get(key)
+        if not bucket:
+            return []
+        fresh: dict[str, ReaderEntry] = {}
+        expired: list[str] = []
+        for rot_id, entry in bucket.items():
+            if now - entry.recorded_at > self._gc_window:
+                expired.append(rot_id)
+            else:
+                fresh[rot_id] = entry
+        for rot_id in expired:
+            del bucket[rot_id]
+        self.entries_expired += len(expired)
+        entries = list(fresh.values())
+        if self._one_id_per_client:
+            newest_per_client: dict[str, ReaderEntry] = {}
+            for entry in entries:
+                best = newest_per_client.get(entry.client_id)
+                if best is None or entry.logical_time > best.logical_time:
+                    newest_per_client[entry.client_id] = entry
+            entries = list(newest_per_client.values())
+        return [(entry.rot_id, entry.logical_time) for entry in entries]
+
+    def collect_for_response(self, keys: Sequence[str],
+                             now: float) -> list[tuple[str, int]]:
+        """Old readers of several keys, compressed for one readers-check reply.
+
+        The paper's optimisation applies per *response*, not per key: a reply
+        carries at most one ROT id per client — the client's most recent one —
+        across all the dependency keys it covers.  Within a response the same
+        ROT id is also deduplicated even if it appears in the records of
+        several keys.
+        """
+        combined: dict[str, ReaderEntry] = {}
+        for key in keys:
+            bucket = self._old.get(key)
+            if not bucket:
+                continue
+            expired: list[str] = []
+            for rot_id, entry in bucket.items():
+                if now - entry.recorded_at > self._gc_window:
+                    expired.append(rot_id)
+                    continue
+                group_key = entry.client_id if self._one_id_per_client else entry.rot_id
+                best = combined.get(group_key)
+                if best is None or entry.logical_time > best.logical_time:
+                    combined[group_key] = entry
+            for rot_id in expired:
+                del bucket[rot_id]
+            self.entries_expired += len(expired)
+        return [(entry.rot_id, entry.logical_time) for entry in combined.values()]
+
+    def collect_garbage(self, now: float) -> int:
+        """Eagerly drop expired old-reader entries; returns how many."""
+        removed = 0
+        for key in list(self._old):
+            bucket = self._old[key]
+            expired = [rot_id for rot_id, entry in bucket.items()
+                       if now - entry.recorded_at > self._gc_window]
+            for rot_id in expired:
+                del bucket[rot_id]
+            removed += len(expired)
+            if not bucket:
+                del self._old[key]
+        self.entries_expired += removed
+        return removed
+
+    # ------------------------------------------------------------- statistics
+    def current_reader_count(self, key: str) -> int:
+        """Number of recorded current readers of ``key`` (diagnostics)."""
+        return len(self._current.get(key, {}))
+
+    def old_reader_count(self, key: str) -> int:
+        """Number of recorded old readers of ``key`` (diagnostics)."""
+        return len(self._old.get(key, {}))
+
+    def total_tracked_entries(self) -> int:
+        """Total number of reader entries currently retained."""
+        return (sum(len(bucket) for bucket in self._current.values())
+                + sum(len(bucket) for bucket in self._old.values()))
+
+
+__all__ = ["ReaderEntry", "ReaderRecords"]

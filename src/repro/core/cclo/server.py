@@ -1,0 +1,332 @@
+"""Partition server of CC-LO (the COPS-SNOW design).
+
+The ROT path is latency-optimal: one round, one version, nonblocking.  The
+PUT path carries the cost: before a new version becomes visible (and before
+the client's PUT is acknowledged), the writing partition performs the
+*readers check* — it asks every partition storing one of the PUT's causal
+dependencies for the old readers of those keys, merges the returned ROT ids
+into the version's old-reader record, and only then installs the version as
+visible.  The same check is repeated in every remote DC when the update is
+replicated, combined with the dependency check (the reply to a remote
+readers-check request is delayed until the listed dependencies are installed
+locally).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.clocks.lamport import LamportClock
+from repro.core.cclo.readers import ReaderRecords
+from repro.core.common.messages import (
+    CcloPutReply,
+    CcloPutRequest,
+    CcloReplicateUpdate,
+    OneRoundReadReply,
+    OneRoundReadRequest,
+    ReadResult,
+    ReadersCheckReply,
+    ReadersCheckRequest,
+)
+from repro.core.common.server import PartitionServer
+from repro.errors import ProtocolError
+from repro.sim.engine import PeriodicTask, milliseconds
+from repro.storage.version import Version
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import ClusterTopology
+    from repro.sim.node import Node
+
+PROTOCOL_NAME = "cc-lo"
+
+
+@dataclass
+class PendingCheck:
+    """State of an in-progress readers check at the writing partition."""
+
+    version: Version
+    client: Optional["Node"]
+    expected_replies: int
+    collected: dict[str, int] = field(default_factory=dict)
+    cumulative_ids: int = 0
+    partitions_contacted: int = 0
+    replicate_after: bool = True
+
+    def merge(self, old_readers: tuple[tuple[str, int], ...]) -> None:
+        self.cumulative_ids += len(old_readers)
+        for rot_id, logical_time in old_readers:
+            previous = self.collected.get(rot_id)
+            if previous is None or logical_time > previous:
+                self.collected[rot_id] = logical_time
+
+
+@dataclass
+class WaitingRemoteCheck:
+    """A remote readers-check request waiting for dependencies to be installed."""
+
+    sender: "Node"
+    request: ReadersCheckRequest
+    missing: set[tuple[str, int, int]]
+
+
+class CcloServer(PartitionServer):
+    """A partition server running the latency-optimal (COPS-SNOW) design."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int,
+                 partition_index: int) -> None:
+        super().__init__(topology, dc_id, partition_index)
+        self.clock = LamportClock()
+        config = topology.config
+        self.readers = ReaderRecords(
+            gc_window_seconds=milliseconds(config.cclo_gc_window_ms),
+            one_id_per_client=config.cclo_one_id_per_client)
+        self._check_ids = itertools.count()
+        self._pending_checks: dict[str, PendingCheck] = {}
+        self._waiting_remote_checks: list[WaitingRemoteCheck] = []
+        self._gc_task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start the periodic reader-record garbage collection."""
+        window = milliseconds(self.config.cclo_gc_window_ms)
+        self._gc_task = PeriodicTask(self.sim, max(window / 2, milliseconds(50)),
+                                     lambda: self.readers.collect_garbage(self.sim.now),
+                                     label="cclo-gc")
+
+    def stop_background_tasks(self) -> None:
+        """Cancel periodic tasks (lets the event queue drain at run end)."""
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+
+    # ------------------------------------------------------------------ costs
+    def message_cost(self, message: object) -> float:
+        cost = self.cost_model
+        if isinstance(message, OneRoundReadRequest):
+            keys = list(message.keys)
+            # Checking whether the ROT id appears in a version's old-reader
+            # record is a hash lookup, so the read path pays no per-id cost;
+            # the readers check (PUT path) is where the id lists are scanned.
+            return cost.read_cost(len(keys), self._stored_value_size(keys))
+        if isinstance(message, CcloPutRequest):
+            return (cost.put_cost(message.value_size)
+                    + cost.dependency_cost(len(message.dependencies)))
+        if isinstance(message, ReadersCheckRequest):
+            ids = sum(self.readers.old_reader_count(key)
+                      for key, _, _ in message.dependencies)
+            return cost.readers_check_cost(ids) \
+                + cost.dependency_cost(len(message.dependencies))
+        if isinstance(message, ReadersCheckReply):
+            return cost.readers_check_cost(len(message.old_readers))
+        if isinstance(message, CcloReplicateUpdate):
+            return cost.replication_cost(message.value_size, len(message.dependencies))
+        return 0.0
+
+    def _stored_value_size(self, keys: list[str]) -> int:
+        for key in keys:
+            version = self.store.latest_visible(key)
+            if version is not None:
+                return version.size_bytes
+        return 0
+
+    # --------------------------------------------------------------- dispatch
+    def handle_message(self, sender: "Node", message: object) -> None:
+        if isinstance(message, OneRoundReadRequest):
+            self._handle_read(sender, message)
+        elif isinstance(message, CcloPutRequest):
+            self._handle_put(sender, message)
+        elif isinstance(message, ReadersCheckRequest):
+            self._handle_readers_check_request(sender, message)
+        elif isinstance(message, ReadersCheckReply):
+            self._handle_readers_check_reply(message)
+        elif isinstance(message, CcloReplicateUpdate):
+            self._handle_replicated_update(message)
+        else:
+            raise ProtocolError(f"{self.node_id} cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------- ROT
+    def _handle_read(self, sender: "Node", message: OneRoundReadRequest) -> None:
+        results = []
+        for key in message.keys:
+            results.append(self._read_key(key, message.rot_id, message.client_id))
+        self.send(sender, OneRoundReadReply(rot_id=message.rot_id,
+                                            results=tuple(results)))
+
+    def _read_key(self, key: str, rot_id: str, client_id: str) -> ReadResult:
+        latest_visible = self.store.latest_visible(key)
+        chosen = self.store.latest(
+            key, lambda v: v.is_visible() and not v.excludes_reader(rot_id))
+        logical_time = self.clock.tick()
+        now = self.sim.now
+        if chosen is None:
+            # Nothing readable (should only happen for never-written keys).
+            return ReadResult(key=key, timestamp=None, origin_dc=self.dc_id,
+                              value_size=0)
+        if latest_visible is not None and chosen is latest_visible:
+            self.readers.record_current_reader(key, rot_id, client_id,
+                                               logical_time, now)
+        else:
+            # The ROT was barred from the latest version: it must also be
+            # barred from any future version depending on what it missed.
+            self.readers.record_old_reader(key, rot_id, client_id,
+                                           logical_time, now)
+        return ReadResult(key=key, timestamp=chosen.timestamp,
+                          origin_dc=chosen.origin_dc,
+                          value_size=chosen.size_bytes)
+
+    # ------------------------------------------------------------------- PUT
+    def _handle_put(self, sender: "Node", message: CcloPutRequest) -> None:
+        timestamp = self.clock.tick()
+        version = Version(key=message.key, value=None, timestamp=timestamp,
+                          origin_dc=self.dc_id, size_bytes=message.value_size,
+                          dependencies=tuple((key, ts) for key, ts, _ in
+                                             message.dependencies),
+                          dependency_origins=tuple(origin for _, _, origin in
+                                                   message.dependencies),
+                          visible=False, created_at=self.sim.now,
+                          writer=message.client_id, sequence=message.sequence)
+        self.store.install(version)
+        self._start_readers_check(version, message.dependencies, client=sender,
+                                  replicate_after=True)
+
+    def _start_readers_check(self, version: Version,
+                             dependencies: tuple[tuple[str, int, int], ...],
+                             client: Optional["Node"],
+                             replicate_after: bool) -> None:
+        check_id = f"{self.node_id}:chk{next(self._check_ids)}"
+        pending = PendingCheck(version=version, client=client,
+                               expected_replies=0,
+                               replicate_after=replicate_after)
+        groups: dict[int, list[tuple[str, int, int]]] = {}
+        for key, ts, origin in dependencies:
+            groups.setdefault(self.partitioner.partition_of(key), []).append(
+                (key, ts, origin))
+        local_deps = groups.pop(self.partition_index, [])
+        if local_deps:
+            pending.merge(tuple(self.readers.collect_for_response(
+                [key for key, _, _ in local_deps], self.sim.now)))
+        pending.expected_replies = len(groups)
+        pending.partitions_contacted = len(groups)
+        self._pending_checks[check_id] = pending
+        if not groups:
+            self._finalize_check(check_id)
+            return
+        for partition_index, deps in groups.items():
+            target = self.topology.server(self.dc_id, partition_index)
+            self.counters.readers_check_messages += 1
+            self.send(target, ReadersCheckRequest(
+                check_id=check_id, dependencies=tuple(deps),
+                put_key=version.key, put_timestamp=version.timestamp,
+                require_present=version.origin_dc != self.dc_id))
+
+    def _handle_readers_check_request(self, sender: "Node",
+                                      message: ReadersCheckRequest) -> None:
+        if message.require_present:
+            missing = {dep for dep in message.dependencies
+                       if not self._dependency_present(dep)}
+            if missing:
+                self._waiting_remote_checks.append(
+                    WaitingRemoteCheck(sender=sender, request=message,
+                                       missing=missing))
+                return
+        self._reply_readers_check(sender, message)
+
+    def _dependency_present(self, dep: tuple[str, int, int]) -> bool:
+        key, timestamp, origin = dep
+        if origin == self.dc_id:
+            # Dependencies created in this DC are trivially present.
+            return True
+        return any(version.origin_dc == origin and version.timestamp >= timestamp
+                   and version.is_visible()
+                   for version in self.store.versions(key))
+
+    def _reply_readers_check(self, sender: "Node",
+                             message: ReadersCheckRequest) -> None:
+        collected = self.readers.collect_for_response(
+            [key for key, _, _ in message.dependencies], self.sim.now)
+        self.counters.readers_check_messages += 1
+        self.send(sender, ReadersCheckReply(check_id=message.check_id,
+                                            old_readers=tuple(collected)))
+
+    def _handle_readers_check_reply(self, message: ReadersCheckReply) -> None:
+        pending = self._pending_checks.get(message.check_id)
+        if pending is None:
+            raise ProtocolError(f"unknown readers check {message.check_id}")
+        pending.merge(message.old_readers)
+        pending.expected_replies -= 1
+        if pending.expected_replies <= 0:
+            self._finalize_check(message.check_id)
+
+    def _finalize_check(self, check_id: str) -> None:
+        pending = self._pending_checks.pop(check_id)
+        version = pending.version
+        version.old_readers.update(pending.collected)
+        version.visible = True
+        self.readers.on_version_visible(version.key, self.sim.now)
+        # Old-reader inheritance: a ROT barred from this version must also be
+        # barred from any future version that causally depends on it, so the
+        # collected ids become old readers of this key as well.
+        for rot_id, logical_time in pending.collected.items():
+            client_id = rot_id.rsplit("#", 1)[0]
+            self.readers.record_old_reader(version.key, rot_id, client_id,
+                                           logical_time, self.sim.now)
+        self.counters.record_readers_check(
+            distinct_ids=len(pending.collected),
+            cumulative_ids=pending.cumulative_ids,
+            partitions_contacted=pending.partitions_contacted)
+        self._notify_version_visible(version)
+        if pending.client is not None:
+            self.send(pending.client, CcloPutReply(key=version.key,
+                                                   timestamp=version.timestamp))
+        if pending.replicate_after:
+            self._replicate(version)
+
+    # ------------------------------------------------------------ replication
+    def _replicate(self, version: Version) -> None:
+        origins = version.dependency_origins or (self.dc_id,) * len(version.dependencies)
+        dependencies = tuple((key, ts, origin)
+                             for (key, ts), origin in zip(version.dependencies, origins))
+        for replica in self.replicas():
+            self.counters.replication_messages += 1
+            self.counters.dependency_entries_sent += len(dependencies)
+            self.send(replica, CcloReplicateUpdate(
+                key=version.key, timestamp=version.timestamp,
+                origin_dc=version.origin_dc, value_size=version.size_bytes,
+                dependencies=dependencies, writer=version.writer,
+                sequence=version.sequence,
+                old_readers=tuple(version.old_readers.items())))
+
+    def _handle_replicated_update(self, message: CcloReplicateUpdate) -> None:
+        self.clock.update(message.timestamp)
+        version = Version(key=message.key, value=None, timestamp=message.timestamp,
+                          origin_dc=message.origin_dc, size_bytes=message.value_size,
+                          dependencies=tuple((key, ts) for key, ts, _ in
+                                             message.dependencies),
+                          dependency_origins=tuple(origin for _, _, origin in
+                                                   message.dependencies),
+                          old_readers=dict(message.old_readers),
+                          visible=False, created_at=self.sim.now,
+                          writer=message.writer, sequence=message.sequence)
+        self.store.install(version)
+        # The readers check is repeated in this DC, combined with the
+        # dependency check (require_present=True on the outgoing requests).
+        self._start_readers_check(version, message.dependencies, client=None,
+                                  replicate_after=False)
+
+    def _notify_version_visible(self, version: Version) -> None:
+        """Wake remote readers-check requests waiting on this version."""
+        if not self._waiting_remote_checks:
+            return
+        still_waiting: list[WaitingRemoteCheck] = []
+        for waiting in self._waiting_remote_checks:
+            waiting.missing = {dep for dep in waiting.missing
+                               if not self._dependency_present(dep)}
+            if waiting.missing:
+                still_waiting.append(waiting)
+            else:
+                self._reply_readers_check(waiting.sender, waiting.request)
+        self._waiting_remote_checks = still_waiting
+
+
+__all__ = ["CcloServer", "PendingCheck", "PROTOCOL_NAME"]

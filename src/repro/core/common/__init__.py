@@ -1,0 +1,6 @@
+"""Machinery shared by all protocol implementations."""
+
+from repro.core.common.client import BaseClient
+from repro.core.common.server import PartitionServer
+
+__all__ = ["BaseClient", "PartitionServer"]

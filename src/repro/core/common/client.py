@@ -1,0 +1,145 @@
+"""Closed-loop client driver.
+
+The paper's load generator spawns client threads that issue operations in a
+closed loop: each client has at most one outstanding operation and issues the
+next one as soon as the previous one completes.  Load is varied by changing
+the number of clients, which is exactly how the throughput-versus-latency
+curves of Figures 4–9 are produced.
+
+The base client implements the loop, the metric recording and the optional
+history recording for the causal-consistency checker; protocol subclasses
+implement ``issue_put`` and ``issue_rot``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.causal.checker import (
+    CausalConsistencyChecker,
+    RecordedPut,
+    RecordedRead,
+    RecordedRot,
+)
+from repro.core.common.messages import ReadResult
+from repro.metrics.collectors import MetricsRegistry
+from repro.sim.node import Node
+from repro.workload.generator import Operation, WorkloadGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import ClusterTopology
+
+
+class BaseClient(Node):
+    """A closed-loop client bound to one data center."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
+                 generator: WorkloadGenerator, metrics: MetricsRegistry,
+                 checker: Optional[CausalConsistencyChecker] = None) -> None:
+        super().__init__(topology.sim,
+                         node_id=f"client-dc{dc_id}-{client_index}",
+                         dc_id=dc_id)
+        self.topology = topology
+        self.config = topology.config
+        self.partitioner = topology.partitioner
+        self.generator = generator
+        self.metrics = metrics
+        self.checker = checker
+        self.rng = random.Random(f"{topology.sim.seed}:client:{dc_id}:{client_index}")
+        self.sequence = 0
+        self._running = False
+        self._op_started_at = 0.0
+        self._current_operation: Optional[Operation] = None
+
+    # ------------------------------------------------------------------ loop
+    def start(self) -> None:
+        """Begin issuing operations (called once by the harness)."""
+        self._running = True
+        # Desynchronise client start times slightly so the first wave of
+        # requests does not arrive in lockstep.
+        self.sim.schedule(self.rng.random() * 1e-3, self._issue_next,
+                          label="client-start")
+
+    def stop(self) -> None:
+        """Stop issuing new operations (in-flight ones finish naturally)."""
+        self._running = False
+
+    def _issue_next(self) -> None:
+        if not self._running:
+            return
+        operation = self.generator.next_operation()
+        self._current_operation = operation
+        self._op_started_at = self.sim.now
+        self.sequence += 1
+        self.metrics.note_issue(operation.is_put)
+        if operation.is_put:
+            self.issue_put(operation)
+        else:
+            self.issue_rot(operation)
+
+    # --------------------------------------------------------------- complete
+    def complete_put(self, key: str, timestamp: int, origin_dc: int) -> None:
+        """Called by the protocol when the in-flight PUT finished."""
+        self.metrics.record_put(self._op_started_at, self.sim.now)
+        if self.checker is not None:
+            self.checker.record_put(RecordedPut(
+                key=key, timestamp=timestamp, origin_dc=origin_dc,
+                client=self.node_id, sequence=self.sequence,
+                dependencies=self.checker_dependencies()))
+        self.after_put(key, timestamp, origin_dc)
+        self._issue_next()
+
+    def complete_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
+        """Called by the protocol when the in-flight ROT finished."""
+        self.metrics.record_rot(self._op_started_at, self.sim.now)
+        if self.checker is not None:
+            reads = tuple(RecordedRead(key=result.key, timestamp=result.timestamp,
+                                       origin_dc=result.origin_dc)
+                          for result in results.values())
+            self.checker.record_rot(RecordedRot(
+                rot_id=rot_id, client=self.node_id,
+                sequence=self.sequence, reads=reads))
+        self.after_rot(rot_id, results)
+        self._issue_next()
+
+    # ------------------------------------------------------------------ hooks
+    def issue_put(self, operation: Operation) -> None:
+        """Send the protocol's PUT request; subclasses must override."""
+        raise NotImplementedError
+
+    def issue_rot(self, operation: Operation) -> None:
+        """Send the protocol's ROT request(s); subclasses must override."""
+        raise NotImplementedError
+
+    def after_put(self, key: str, timestamp: int, origin_dc: int) -> None:
+        """Protocol-specific bookkeeping after a PUT completes (optional)."""
+
+    def after_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
+        """Protocol-specific bookkeeping after a ROT completes (optional)."""
+
+    def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
+        """The causal context recorded with PUTs for the history checker.
+
+        Subclasses return the ``(key, timestamp, origin_dc)`` triples the
+        client has observed; the default (no dependencies) is only appropriate
+        for clients that never read.
+        """
+        return ()
+
+    # ------------------------------------------------------------------ misc
+    def service_time(self, message: object) -> float:
+        """Clients pay a token CPU cost; they are never the bottleneck."""
+        del message
+        return self.config.cost_model.client_cost()
+
+    def next_rot_id(self) -> str:
+        """A globally unique ROT identifier (client id + sequence number)."""
+        return f"{self.node_id}#{self.sequence}"
+
+    def send(self, destination: Node, message: object) -> None:
+        """Send a message through the simulated network."""
+        self.topology.network.send(self, destination, message)
+
+
+__all__ = ["BaseClient"]

@@ -1,0 +1,78 @@
+"""Base class for partition servers.
+
+A partition server is a simulated node that stores one shard of the keyspace
+in one data center.  The base class wires together the pieces every protocol
+needs — the multi-version store, the overhead counters, the cost-model-driven
+``service_time`` and a ``send`` helper that goes through the simulated
+network — and leaves the protocol logic (``handle_message`` and
+``message_cost``) to the concrete implementations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.config import ClusterConfig
+from repro.sim.costs import OverheadCounters
+from repro.sim.node import Node
+from repro.storage.mvstore import MultiVersionStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import ClusterTopology
+
+
+class PartitionServer(Node):
+    """Common state and helpers of every partition server."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int,
+                 partition_index: int) -> None:
+        config: ClusterConfig = topology.config
+        super().__init__(topology.sim,
+                         node_id=f"server-dc{dc_id}-p{partition_index}",
+                         dc_id=dc_id,
+                         threads=config.server_threads)
+        self.topology = topology
+        self.config = config
+        self.partition_index = partition_index
+        self.cost_model = config.cost_model
+        self.store = MultiVersionStore(max_versions_per_key=config.max_versions_per_key)
+        self.counters = OverheadCounters()
+        self.partitioner = topology.partitioner
+
+    # ------------------------------------------------------------------ wires
+    def send(self, destination: Node, message: object) -> None:
+        """Send a message through the simulated network, counting it."""
+        self.counters.messages_sent += 1
+        size_fn = getattr(message, "size_bytes", None)
+        if callable(size_fn):
+            self.counters.bytes_sent += int(size_fn())
+        self.topology.network.send(self, destination, message)
+
+    def peers_in_dc(self) -> list["PartitionServer"]:
+        """The other partition servers in this server's DC."""
+        return [server for server in self.topology.servers_in_dc(self.dc_id)
+                if server.partition_index != self.partition_index]
+
+    def replicas(self) -> list["PartitionServer"]:
+        """Replicas of this partition in the other data centers."""
+        return self.topology.replicas_of(self.dc_id, self.partition_index)
+
+    # ------------------------------------------------------------------ hooks
+    def service_time(self, message: object) -> float:
+        """Charge the CPU for ``message`` according to the cost model."""
+        return self.cost_model.message_cost() + self.message_cost(message)
+
+    def message_cost(self, message: object) -> float:
+        """Protocol-specific CPU cost of a message (seconds); override."""
+        del message
+        return 0.0
+
+    def start(self) -> None:
+        """Start periodic protocol tasks (stabilization, GC); override."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"{type(self).__name__}(dc={self.dc_id}, "
+                f"partition={self.partition_index})")
+
+
+__all__ = ["PartitionServer"]

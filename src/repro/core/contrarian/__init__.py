@@ -1,0 +1,52 @@
+"""Contrarian — the paper's contribution.
+
+Contrarian provides causally consistent ROTs that are nonblocking and
+one-version and complete in 1½ rounds of client-server communication
+(configurable to 2 rounds), while keeping PUTs as cheap as in any
+non-latency-optimal design.  It uses Hybrid Logical Clocks so snapshots are
+fresh (the GSS advances with physical time) yet partitions can still move
+their clock forward to serve a snapshot without blocking.
+
+The clock mode and the number of rounds come from
+:class:`repro.cluster.config.ClusterConfig` (``clock_mode`` and
+``rot_rounds``), which is also how the clock/rounds ablation benchmarks are
+expressed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.vector.client import VectorClient
+from repro.core.vector.server import VectorServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.causal.checker import CausalConsistencyChecker
+    from repro.cluster.topology import ClusterTopology
+    from repro.metrics.collectors import MetricsRegistry
+    from repro.workload.generator import WorkloadGenerator
+
+PROTOCOL_NAME = "contrarian"
+
+
+class ContrarianServer(VectorServer):
+    """Contrarian partition server: HLC (by default) and cheap PUTs."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int,
+                 partition_index: int) -> None:
+        super().__init__(topology, dc_id, partition_index,
+                         clock_mode=topology.config.clock_mode,
+                         protocol_name=PROTOCOL_NAME)
+
+
+class ContrarianClient(VectorClient):
+    """Contrarian client: 1½-round ROTs by default, 2 rounds if configured."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
+                 generator: "WorkloadGenerator", metrics: "MetricsRegistry",
+                 checker: Optional["CausalConsistencyChecker"] = None) -> None:
+        super().__init__(topology, dc_id, client_index, generator, metrics,
+                         checker, two_round=topology.config.rot_rounds == 2.0)
+
+
+__all__ = ["ContrarianClient", "ContrarianServer", "PROTOCOL_NAME"]

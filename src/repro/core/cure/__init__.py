@@ -1,0 +1,51 @@
+"""Cure baseline (Akkoorath et al., ICDCS 2016).
+
+Cure uses the same coordinator-based design and GSS stabilization protocol as
+Contrarian, but timestamps events with loosely synchronised *physical* clocks
+and always runs ROTs in two rounds.  Because a physical clock cannot be moved
+forward to match an incoming snapshot timestamp, a partition whose clock lags
+the snapshot must wait — making ROTs blocking and adding a latency penalty of
+the order of the clock skew (Figure 4 of the paper).
+
+The paper adapts Cure to the API of Section 2; this implementation does the
+same (the original Cure exposes CRDT objects, which are irrelevant to the
+latency/throughput dynamics studied here).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.vector.client import VectorClient
+from repro.core.vector.server import VectorServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.causal.checker import CausalConsistencyChecker
+    from repro.cluster.topology import ClusterTopology
+    from repro.metrics.collectors import MetricsRegistry
+    from repro.workload.generator import WorkloadGenerator
+
+PROTOCOL_NAME = "cure"
+
+
+class CureServer(VectorServer):
+    """Cure partition server: physical clocks, hence blocking ROTs."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int,
+                 partition_index: int) -> None:
+        super().__init__(topology, dc_id, partition_index,
+                         clock_mode="physical",
+                         protocol_name=PROTOCOL_NAME)
+
+
+class CureClient(VectorClient):
+    """Cure client: always two rounds of client-server communication."""
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
+                 generator: "WorkloadGenerator", metrics: "MetricsRegistry",
+                 checker: Optional["CausalConsistencyChecker"] = None) -> None:
+        super().__init__(topology, dc_id, client_index, generator, metrics,
+                         checker, two_round=True)
+
+
+__all__ = ["CureClient", "CureServer", "PROTOCOL_NAME"]

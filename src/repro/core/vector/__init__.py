@@ -1,0 +1,16 @@
+"""The coordinator-based, vector-clock protocol family.
+
+Contrarian and Cure share almost all of their machinery (Section 4 of the
+paper explicitly presents Contrarian as an improvement of the
+Orbe/GentleRain/Cure design): items carry per-DC dependency vectors, a
+stabilization protocol computes the Global Stable Snapshot, and ROTs read a
+coordinator-chosen snapshot vector.  The two systems differ in the clock used
+to timestamp events (HLC vs physical) and in the number of communication
+rounds of a ROT (1½ vs 2), so both are implemented here as configurations of
+the same server/client pair.
+"""
+
+from repro.core.vector.client import VectorClient
+from repro.core.vector.server import VectorServer
+
+__all__ = ["VectorClient", "VectorServer"]

@@ -1,0 +1,33 @@
+"""Experiment harness: cluster building, runs, load sweeps, figures, tables."""
+
+from repro.harness.builder import BuiltCluster, build_cluster
+from repro.harness.runner import ExperimentOutcome, load_sweep, run_experiment
+from repro.harness.figures import (
+    FigureResult,
+    figure4_contrarian_vs_cure,
+    figure5_default_workload,
+    figure6_readers_check_overhead,
+    figure7_write_intensity,
+    figure8_skew,
+    figure9_rot_size,
+    section58_value_size,
+)
+from repro.harness.tables import table1_workloads, table2_characterization
+
+__all__ = [
+    "BuiltCluster",
+    "ExperimentOutcome",
+    "FigureResult",
+    "build_cluster",
+    "figure4_contrarian_vs_cure",
+    "figure5_default_workload",
+    "figure6_readers_check_overhead",
+    "figure7_write_intensity",
+    "figure8_skew",
+    "figure9_rot_size",
+    "load_sweep",
+    "run_experiment",
+    "section58_value_size",
+    "table1_workloads",
+    "table2_characterization",
+]

@@ -1,0 +1,81 @@
+"""Programmatic access to the design-choice ablations.
+
+The benchmark suite exercises the ablations DESIGN.md calls out (ROT rounds,
+clock family, CC-LO garbage collection, stabilization interval); this module
+exposes the same studies as plain functions so they can be run from a script
+or a notebook without pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.harness.runner import load_sweep, run_experiment
+from repro.metrics.collectors import RunResult
+from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+
+
+def rot_rounds_ablation(client_counts: Sequence[int] = (4, 16, 48),
+                        config: Optional[ClusterConfig] = None,
+                        workload: WorkloadParameters = DEFAULT_WORKLOAD
+                        ) -> dict[str, list[RunResult]]:
+    """Contrarian with 1½-round versus 2-round ROTs (Section 5.3)."""
+    base = config or ClusterConfig.bench_scale()
+    return {
+        "1.5-rounds": load_sweep("contrarian", client_counts,
+                                 base.with_changes(rot_rounds=1.5), workload),
+        "2-rounds": load_sweep("contrarian", client_counts,
+                               base.with_changes(rot_rounds=2.0), workload),
+    }
+
+
+def clock_mode_ablation(clients: int = 16,
+                        config: Optional[ClusterConfig] = None,
+                        workload: WorkloadParameters = DEFAULT_WORKLOAD
+                        ) -> dict[str, RunResult]:
+    """Contrarian under HLC, plain logical and physical clocks (Section 4)."""
+    base = (config or ClusterConfig.bench_scale()).with_changes(
+        clients_per_dc=clients)
+    return {mode: run_experiment("contrarian",
+                                 base.with_changes(clock_mode=mode),
+                                 workload).result
+            for mode in ("hlc", "logical", "physical")}
+
+
+def cclo_gc_ablation(clients: int = 32,
+                     config: Optional[ClusterConfig] = None,
+                     workload: WorkloadParameters = DEFAULT_WORKLOAD
+                     ) -> dict[str, RunResult]:
+    """CC-LO with/without the paper's reader-record optimisations."""
+    base = (config or ClusterConfig.bench_scale()).with_changes(
+        clients_per_dc=clients)
+    return {
+        "optimized": run_experiment("cc-lo", base, workload).result,
+        "long-gc": run_experiment(
+            "cc-lo", base.with_changes(cclo_gc_window_ms=5000.0), workload).result,
+        "no-compression": run_experiment(
+            "cc-lo", base.with_changes(cclo_one_id_per_client=False),
+            workload).result,
+    }
+
+
+def stabilization_interval_ablation(clients: int = 16,
+                                    intervals_ms: Sequence[float] = (5.0, 50.0),
+                                    config: Optional[ClusterConfig] = None,
+                                    workload: WorkloadParameters = DEFAULT_WORKLOAD
+                                    ) -> dict[float, RunResult]:
+    """Contrarian under different GSS stabilization periods."""
+    base = (config or ClusterConfig.bench_scale()).with_changes(
+        clients_per_dc=clients)
+    return {interval: run_experiment(
+        "contrarian", base.with_changes(stabilization_interval_ms=interval),
+        workload).result for interval in intervals_ms}
+
+
+__all__ = [
+    "cclo_gc_ablation",
+    "clock_mode_ablation",
+    "rot_rounds_ablation",
+    "stabilization_interval_ablation",
+]

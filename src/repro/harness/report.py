@@ -1,0 +1,86 @@
+"""Plain-text report formatting for figures and tables.
+
+The benchmarks print the same rows/series the paper plots, as aligned text
+tables, so that a run of the benchmark suite doubles as a regeneration of the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.metrics.collectors import RunResult
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Format rows as an aligned, pipe-separated text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [" | ".join(header.ljust(width)
+                        for header, width in zip(headers, widths))]
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[RunResult]], *,
+                  include_p99: bool = False) -> str:
+    """Format throughput-versus-latency series, one block per system."""
+    headers = ["system", "clients", "throughput (Kops/s)", "ROT avg (ms)"]
+    if include_p99:
+        headers.append("ROT p99 (ms)")
+    headers.append("PUT avg (ms)")
+    rows: list[list[object]] = []
+    for name, results in series.items():
+        for result in results:
+            row: list[object] = [name, result.clients,
+                                 f"{result.throughput_kops:.1f}",
+                                 f"{result.rot_mean_ms:.3f}"]
+            if include_p99:
+                row.append(f"{result.rot_p99_ms:.3f}")
+            row.append(f"{result.put_mean_ms:.3f}")
+            rows.append(row)
+    return format_table(headers, rows)
+
+
+def peak_throughput(results: Sequence[RunResult]) -> float:
+    """Maximum throughput (Kops/s) over a load sweep."""
+    return max((result.throughput_kops for result in results), default=0.0)
+
+
+def latency_at_lowest_load(results: Sequence[RunResult]) -> float:
+    """Average ROT latency (ms) at the lowest load point of a sweep."""
+    if not results:
+        return 0.0
+    lowest = min(results, key=lambda result: result.clients)
+    return lowest.rot_mean_ms
+
+
+def crossover_load(reference: Sequence[RunResult],
+                   challenger: Sequence[RunResult]) -> float | None:
+    """Throughput (Kops/s) past which ``challenger`` has lower ROT latency.
+
+    Both sweeps must use the same client counts.  Returns ``None`` when the
+    challenger never becomes faster (or the reference never is).
+    """
+    paired = list(zip(sorted(reference, key=lambda r: r.clients),
+                      sorted(challenger, key=lambda r: r.clients)))
+    for ref, cha in paired:
+        if cha.rot_mean_ms < ref.rot_mean_ms:
+            return cha.throughput_kops
+    return None
+
+
+__all__ = [
+    "crossover_load",
+    "format_series",
+    "format_table",
+    "latency_at_lowest_load",
+    "peak_throughput",
+]

@@ -1,0 +1,103 @@
+"""Running experiments and load sweeps.
+
+``run_experiment`` performs one simulated run of one protocol under one
+workload and returns the measured :class:`~repro.metrics.collectors.RunResult`
+plus the raw pieces (the built cluster and, when enabled, the consistency
+checker report).  ``load_sweep`` varies the number of closed-loop clients to
+trace one throughput-versus-latency curve, which is how every figure in the
+paper's evaluation is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.causal.checker import CheckerReport
+from repro.cluster.config import ClusterConfig
+from repro.harness.builder import BuiltCluster, build_cluster
+from repro.metrics.collectors import RunResult
+from repro.sim.costs import OverheadCounters
+from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+
+
+@dataclass
+class ExperimentOutcome:
+    """The full outcome of one run (result row plus inspectable state)."""
+
+    result: RunResult
+    cluster: BuiltCluster
+    checker_report: Optional[CheckerReport] = None
+
+
+def run_experiment(protocol: str,
+                   config: Optional[ClusterConfig] = None,
+                   workload: Optional[WorkloadParameters] = None, *,
+                   enable_checker: bool = False,
+                   check_consistency: bool = False,
+                   label: str = "") -> ExperimentOutcome:
+    """Run one experiment and return its outcome.
+
+    Parameters
+    ----------
+    protocol:
+        Registered protocol name.
+    config:
+        Cluster configuration; defaults to the bench-scale configuration.
+    workload:
+        Workload point; defaults to the paper's default workload.
+    enable_checker:
+        Record the full history of PUTs and ROTs.
+    check_consistency:
+        Also run the causal-consistency checker after the run and raise if a
+        violation is found (implies ``enable_checker``).
+    """
+    config = config or ClusterConfig()
+    workload = workload or DEFAULT_WORKLOAD
+    cluster = build_cluster(protocol, config, workload,
+                            enable_checker=enable_checker or check_consistency)
+    cluster.start()
+    cluster.sim.run(until=config.duration_seconds)
+    cluster.stop()
+
+    overhead = OverheadCounters()
+    for server in cluster.topology.all_servers():
+        overhead.merge(server.counters)
+    result = cluster.metrics.finalize(
+        protocol=protocol,
+        num_dcs=config.num_dcs,
+        clients=config.total_clients,
+        measurement_seconds=config.measurement_seconds,
+        overhead=overhead,
+        cpu_utilization=cluster.topology.average_cpu_utilization(
+            config.duration_seconds),
+        label=label or workload.describe())
+
+    report: Optional[CheckerReport] = None
+    if cluster.checker is not None:
+        report = cluster.checker.check()
+        if check_consistency:
+            report.raise_if_violations()
+    return ExperimentOutcome(result=result, cluster=cluster, checker_report=report)
+
+
+def load_sweep(protocol: str, client_counts: Sequence[int],
+               config: Optional[ClusterConfig] = None,
+               workload: Optional[WorkloadParameters] = None, *,
+               label: str = "") -> list[RunResult]:
+    """Trace one throughput-versus-latency curve.
+
+    Each point reruns the full simulation with a different number of
+    closed-loop clients per DC, exactly like the paper's methodology of
+    spawning more client threads to increase the load.
+    """
+    config = config or ClusterConfig()
+    results: list[RunResult] = []
+    for clients in client_counts:
+        point_config = config.with_changes(clients_per_dc=clients)
+        outcome = run_experiment(protocol, point_config, workload, label=label)
+        results.append(outcome.result)
+    return results
+
+
+__all__ = ["ExperimentOutcome", "load_sweep", "run_experiment"]

@@ -1,0 +1,6 @@
+"""Latency, throughput and overhead measurement."""
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.collectors import MetricsRegistry, RunResult
+
+__all__ = ["LatencyRecorder", "LatencySummary", "MetricsRegistry", "RunResult"]

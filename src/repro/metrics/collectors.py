@@ -1,0 +1,136 @@
+"""Run-level metric aggregation.
+
+A :class:`MetricsRegistry` is shared by all clients and servers of one run.
+Clients record per-operation latencies (split by operation type and excluding
+the warmup window), servers contribute their overhead counters, and at the end
+of the run the registry condenses everything into a :class:`RunResult` — the
+row format used by the figure/table harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.sim.costs import OverheadCounters
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The measured outcome of one simulated run.
+
+    Throughput follows the paper's definition: completed PUTs plus completed
+    ROTs per second of measurement window.
+    """
+
+    protocol: str
+    num_dcs: int
+    clients: int
+    throughput_kops: float
+    rot_latency: LatencySummary
+    put_latency: LatencySummary
+    rots_completed: int
+    puts_completed: int
+    overhead: OverheadCounters
+    cpu_utilization: float
+    label: str = ""
+
+    @property
+    def rot_mean_ms(self) -> float:
+        """Average ROT latency in milliseconds (Figure 4/5/7/8/9 y-axis)."""
+        return self.rot_latency.mean_ms
+
+    @property
+    def rot_p99_ms(self) -> float:
+        """99th-percentile ROT latency in milliseconds (Figure 5b)."""
+        return self.rot_latency.p99_ms
+
+    @property
+    def put_mean_ms(self) -> float:
+        """Average PUT latency in milliseconds (Section 5.2 aside)."""
+        return self.put_latency.mean_ms
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a dictionary suitable for tabular reports."""
+        return {
+            "protocol": self.protocol,
+            "dcs": self.num_dcs,
+            "clients": self.clients,
+            "throughput_kops": round(self.throughput_kops, 2),
+            "rot_avg_ms": round(self.rot_latency.mean_ms, 3),
+            "rot_p99_ms": round(self.rot_latency.p99_ms, 3),
+            "put_avg_ms": round(self.put_latency.mean_ms, 3),
+            "rots": self.rots_completed,
+            "puts": self.puts_completed,
+            "cpu_util": round(self.cpu_utilization, 3),
+            "readers_check_ids_distinct": round(
+                self.overhead.average_distinct_ids_per_check(), 1),
+            "readers_check_ids_cumulative": round(
+                self.overhead.average_cumulative_ids_per_check(), 1),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Mutable metric sink shared by every node of a run."""
+
+    warmup_seconds: float = 0.0
+    rot_latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+    put_latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+    rots_completed: int = 0
+    puts_completed: int = 0
+    rots_issued: int = 0
+    puts_issued: int = 0
+
+    def record_rot(self, started_at: float, completed_at: float) -> None:
+        """Record a completed ROT (ignored if it completed during warmup)."""
+        if completed_at < self.warmup_seconds:
+            return
+        self.rots_completed += 1
+        self.rot_latencies.record(completed_at - started_at)
+
+    def record_put(self, started_at: float, completed_at: float) -> None:
+        """Record a completed PUT (ignored if it completed during warmup)."""
+        if completed_at < self.warmup_seconds:
+            return
+        self.puts_completed += 1
+        self.put_latencies.record(completed_at - started_at)
+
+    def note_issue(self, is_put: bool) -> None:
+        """Count an issued operation (diagnostics; includes warmup)."""
+        if is_put:
+            self.puts_issued += 1
+        else:
+            self.rots_issued += 1
+
+    # ------------------------------------------------------------------ final
+    def finalize(self, *, protocol: str, num_dcs: int, clients: int,
+                 measurement_seconds: float, overhead: OverheadCounters,
+                 cpu_utilization: float, label: str = "",
+                 rot_size: Optional[int] = None) -> RunResult:
+        """Produce the immutable result row for this run.
+
+        ``rot_size`` is accepted for interface completeness (the paper counts
+        throughput in operations, not individual reads, so it is not used in
+        the computation).
+        """
+        del rot_size
+        operations = self.rots_completed + self.puts_completed
+        throughput = operations / measurement_seconds if measurement_seconds > 0 else 0.0
+        return RunResult(
+            protocol=protocol,
+            num_dcs=num_dcs,
+            clients=clients,
+            throughput_kops=throughput / 1000.0,
+            rot_latency=self.rot_latencies.summary(),
+            put_latency=self.put_latencies.summary(),
+            rots_completed=self.rots_completed,
+            puts_completed=self.puts_completed,
+            overhead=overhead,
+            cpu_utilization=cpu_utilization,
+            label=label,
+        )
+
+
+__all__ = ["MetricsRegistry", "RunResult"]

@@ -1,0 +1,13 @@
+"""Geo-replication helpers.
+
+The replication *mechanics* (sending updates to remote replicas, installing
+them, deciding visibility) live inside the protocol servers because they are
+protocol-specific: Contrarian and Cure gate visibility on the GSS computed by
+the stabilization protocol, while CC-LO repeats the dependency check and the
+readers check in every remote DC.  This package holds the protocol-agnostic
+pieces: the accounting of replication overhead used by the experiment reports.
+"""
+
+from repro.replication.accounting import ReplicationOverhead, summarize_replication
+
+__all__ = ["ReplicationOverhead", "summarize_replication"]

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation was run on a 64-machine cluster.  This package provides
+the simulated equivalent: an event-driven engine (:mod:`repro.sim.engine`), a
+message-passing network with configurable latency and bandwidth
+(:mod:`repro.sim.network`), simulated processes with a FIFO CPU queue
+(:mod:`repro.sim.node`) and an explicit CPU cost model
+(:mod:`repro.sim.costs`).  Together these reproduce the queueing dynamics that
+drive the paper's throughput-versus-latency results.
+"""
+
+from repro.sim.costs import CostModel
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node, ProcessingStats
+
+__all__ = [
+    "CostModel",
+    "Event",
+    "LatencyModel",
+    "Network",
+    "Node",
+    "ProcessingStats",
+    "Simulator",
+]

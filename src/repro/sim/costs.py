@@ -1,0 +1,212 @@
+"""CPU cost model for simulated servers.
+
+The paper's central claim is about *resource usage*: the readers check that
+COPS-SNOW (CC-LO) performs on every PUT consumes CPU cycles and network
+bandwidth that grow with the number of clients, and at non-trivial load that
+extra work translates into queueing delays for every operation, including the
+ROTs the design was meant to favour.
+
+To reproduce that dynamic the simulator charges every message handled by a
+server an explicit CPU service time.  The cost model below decomposes the
+service time into a fixed per-message cost plus per-key, per-byte and
+per-ROT-id components, mirroring the marshalling/unmarshalling and list
+processing work the paper attributes to each protocol.
+
+The default constants are calibrated so that an 8-partition cluster saturates
+in the hundreds of Kops/s, the same order of magnitude as the paper's
+32-partition cluster; the absolute values are not meant to match the paper's
+hardware, only to put the crossover points in a comparable regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import microseconds
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU service-time parameters (all in microseconds unless noted).
+
+    Attributes
+    ----------
+    base_message_us:
+        Fixed cost of receiving, unmarshalling and dispatching any message.
+    read_key_us:
+        Cost of looking up one key in the version chain and preparing the
+        response value.
+    put_key_us:
+        Cost of installing one new version (allocation, index update).
+    coordinator_us:
+        Cost of computing a snapshot vector at the ROT coordinator.
+    per_byte_us:
+        Marshalling/unmarshalling cost per payload byte (applies to values).
+    per_dependency_us:
+        Cost of processing one entry of a dependency list (CC-LO PUTs and
+        replication messages).
+    per_rot_id_us:
+        Cost of recording, merging or scanning one ROT identifier during the
+        readers check (CC-LO) or when filtering old readers on a read.
+    readers_check_request_us:
+        Fixed cost of issuing or serving one readers-check round-trip leg.
+    stabilization_us:
+        Cost of processing one stabilization (GSS exchange) message.
+    replication_us:
+        Fixed cost of applying one replicated update (on top of per-byte and
+        per-dependency components).
+    client_overhead_us:
+        CPU time charged at the client for issuing/completing an operation.
+        Clients are not the bottleneck in the paper, so this is small.
+    """
+
+    base_message_us: float = 6.0
+    read_key_us: float = 4.0
+    put_key_us: float = 7.0
+    coordinator_us: float = 3.0
+    per_byte_us: float = 0.002
+    per_dependency_us: float = 0.35
+    per_rot_id_us: float = 0.08
+    readers_check_request_us: float = 4.0
+    stabilization_us: float = 2.0
+    replication_us: float = 5.0
+    client_overhead_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigurationError(f"cost parameter {name} must be >= 0, got {value}")
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a cost model with every parameter multiplied by ``factor``.
+
+        Scaling costs up makes simulated servers proportionally slower, which
+        moves the saturation point to lower op counts.  The benchmark
+        configuration uses this to keep full load sweeps affordable in pure
+        Python while preserving every qualitative relationship between the
+        protocols (the relative costs are unchanged).
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return CostModel(**{name: value * factor
+                            for name, value in self.__dict__.items()})
+
+    # Helpers return simulated seconds -------------------------------------
+    def message_cost(self) -> float:
+        """Fixed cost of handling a message."""
+        return microseconds(self.base_message_us)
+
+    def read_cost(self, num_keys: int, value_bytes: int) -> float:
+        """Cost of serving a read of ``num_keys`` keys of ``value_bytes`` each."""
+        return microseconds(self.read_key_us * num_keys
+                            + self.per_byte_us * value_bytes * num_keys)
+
+    def put_cost(self, value_bytes: int) -> float:
+        """Cost of installing one new version of ``value_bytes`` bytes."""
+        return microseconds(self.put_key_us + self.per_byte_us * value_bytes)
+
+    def coordinator_cost(self, num_partitions: int) -> float:
+        """Cost of computing a snapshot and fanning out to ``num_partitions``."""
+        return microseconds(self.coordinator_us * max(1, num_partitions))
+
+    def dependency_cost(self, num_dependencies: int) -> float:
+        """Cost of processing a dependency list."""
+        return microseconds(self.per_dependency_us * num_dependencies)
+
+    def rot_id_cost(self, num_ids: int) -> float:
+        """Cost of processing ``num_ids`` ROT identifiers (readers check)."""
+        return microseconds(self.per_rot_id_us * num_ids)
+
+    def readers_check_cost(self, num_ids: int) -> float:
+        """Cost of one readers-check leg carrying ``num_ids`` identifiers."""
+        return microseconds(self.readers_check_request_us) + self.rot_id_cost(num_ids)
+
+    def stabilization_cost(self) -> float:
+        """Cost of one stabilization-protocol message."""
+        return microseconds(self.stabilization_us)
+
+    def replication_cost(self, value_bytes: int, num_dependencies: int) -> float:
+        """Cost of applying one replicated update."""
+        return (microseconds(self.replication_us + self.per_byte_us * value_bytes)
+                + self.dependency_cost(num_dependencies))
+
+    def client_cost(self) -> float:
+        """Client-side cost of issuing or completing an operation."""
+        return microseconds(self.client_overhead_us)
+
+
+@dataclass
+class OverheadCounters:
+    """Aggregate counters of protocol overhead, filled in by servers.
+
+    These counters back Figure 6 (ROT ids exchanged per readers check) and the
+    message/metadata columns of Table 2.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    readers_checks: int = 0
+    readers_check_messages: int = 0
+    readers_check_partitions: int = 0
+    rot_ids_cumulative: int = 0
+    rot_ids_distinct: int = 0
+    dependency_entries_sent: int = 0
+    stabilization_messages: int = 0
+    replication_messages: int = 0
+    blocked_reads: int = 0
+    total_block_time: float = 0.0
+    per_check_distinct: list[int] = field(default_factory=list)
+    per_check_cumulative: list[int] = field(default_factory=list)
+    per_check_partitions: list[int] = field(default_factory=list)
+
+    def record_readers_check(self, distinct_ids: int, cumulative_ids: int,
+                             partitions_contacted: int) -> None:
+        """Record the outcome of one complete readers check."""
+        self.readers_checks += 1
+        self.rot_ids_distinct += distinct_ids
+        self.rot_ids_cumulative += cumulative_ids
+        self.readers_check_partitions += partitions_contacted
+        self.per_check_distinct.append(distinct_ids)
+        self.per_check_cumulative.append(cumulative_ids)
+        self.per_check_partitions.append(partitions_contacted)
+
+    def merge(self, other: "OverheadCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.readers_checks += other.readers_checks
+        self.readers_check_messages += other.readers_check_messages
+        self.readers_check_partitions += other.readers_check_partitions
+        self.rot_ids_cumulative += other.rot_ids_cumulative
+        self.rot_ids_distinct += other.rot_ids_distinct
+        self.dependency_entries_sent += other.dependency_entries_sent
+        self.stabilization_messages += other.stabilization_messages
+        self.replication_messages += other.replication_messages
+        self.blocked_reads += other.blocked_reads
+        self.total_block_time += other.total_block_time
+        self.per_check_distinct.extend(other.per_check_distinct)
+        self.per_check_cumulative.extend(other.per_check_cumulative)
+        self.per_check_partitions.extend(other.per_check_partitions)
+
+    # Derived statistics -----------------------------------------------------
+    def average_distinct_ids_per_check(self) -> float:
+        """Average number of distinct ROT ids collected per readers check."""
+        if self.readers_checks == 0:
+            return 0.0
+        return self.rot_ids_distinct / self.readers_checks
+
+    def average_cumulative_ids_per_check(self) -> float:
+        """Average cumulative number of ROT ids exchanged per readers check."""
+        if self.readers_checks == 0:
+            return 0.0
+        return self.rot_ids_cumulative / self.readers_checks
+
+    def average_partitions_per_check(self) -> float:
+        """Average number of partitions contacted per readers check."""
+        if self.readers_checks == 0:
+            return 0.0
+        return self.readers_check_partitions / self.readers_checks
+
+
+__all__ = ["CostModel", "OverheadCounters"]

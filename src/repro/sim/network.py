@@ -1,0 +1,145 @@
+"""Message-passing network model.
+
+The network delivers messages between :class:`~repro.sim.node.Node` instances
+with a configurable one-way latency.  The paper emulates multiple data centers
+over a 10 Gbps local network, so by default the intra-DC and inter-DC
+latencies are equal; both can be changed to study true geo-replication.
+
+Message size matters: serialisation on the wire is charged against a
+per-message bandwidth term so that large values (Section 5.8) and large
+dependency/ROT-id lists (CC-LO) consume proportionally more network time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator, microseconds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.node import Node
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One-way network latencies and bandwidth.
+
+    Attributes
+    ----------
+    intra_dc_us:
+        One-way latency between two nodes in the same data center
+        (microseconds).
+    inter_dc_us:
+        One-way latency between two nodes in different data centers.
+        The paper emulates remote DCs over a LAN, so the default equals the
+        intra-DC latency; set it higher to model true WAN replication.
+    bandwidth_bytes_per_us:
+        Serialisation bandwidth in bytes per microsecond (10 Gbps is
+         1250 bytes/us).
+    jitter_us:
+        Uniform jitter added to each hop, in microseconds.
+    """
+
+    intra_dc_us: float = 50.0
+    inter_dc_us: float = 50.0
+    bandwidth_bytes_per_us: float = 1250.0
+    jitter_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.intra_dc_us < 0 or self.inter_dc_us < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.jitter_us < 0:
+            raise ConfigurationError("jitter must be non-negative")
+
+    def one_way_delay(self, same_dc: bool, size_bytes: int,
+                      jitter_fraction: float) -> float:
+        """Return the one-way delay in simulated seconds.
+
+        ``jitter_fraction`` is a uniform draw in ``[0, 1)`` supplied by the
+        caller (so that randomness stays under the simulator's control).
+        """
+        base = self.intra_dc_us if same_dc else self.inter_dc_us
+        serialisation = size_bytes / self.bandwidth_bytes_per_us
+        jitter = self.jitter_us * jitter_fraction
+        return microseconds(base + serialisation + jitter)
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing all traffic that went through the network."""
+
+    messages: int = 0
+    bytes: int = 0
+    intra_dc_messages: int = 0
+    inter_dc_messages: int = 0
+
+    def record(self, size_bytes: int, same_dc: bool) -> None:
+        self.messages += 1
+        self.bytes += size_bytes
+        if same_dc:
+            self.intra_dc_messages += 1
+        else:
+            self.inter_dc_messages += 1
+
+
+class Network:
+    """Delivers messages between simulated nodes.
+
+    Every message is delivered asynchronously after the one-way delay computed
+    by the :class:`LatencyModel`; delivery enqueues the message at the
+    destination node's CPU (see :class:`repro.sim.node.Node`).
+    """
+
+    def __init__(self, sim: Simulator,
+                 latency: Optional[LatencyModel] = None) -> None:
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.stats = NetworkStats()
+        self._rng = sim.derived_rng("network-jitter")
+        self._last_delivery: dict[tuple[str, str], float] = {}
+
+    def send(self, sender: "Node", destination: "Node", message: object) -> None:
+        """Send ``message`` from ``sender`` to ``destination``.
+
+        The message size is obtained from the message's ``size_bytes()``
+        method when available, otherwise a small fixed header size is used.
+
+        Delivery is FIFO per (sender, destination) pair, like the TCP
+        connections the paper's implementation uses.  FIFO channels are what
+        lets a partition advance its version vector when it receives a
+        replicated update or heartbeat: everything earlier from that replica
+        has already arrived.
+        """
+        size = self._message_size(message)
+        same_dc = sender.dc_id == destination.dc_id
+        self.stats.record(size, same_dc)
+        delay = self.latency.one_way_delay(same_dc, size, self._rng.random())
+        channel = (sender.node_id, destination.node_id)
+        arrival = max(self.sim.now + delay, self._last_delivery.get(channel, 0.0))
+        self._last_delivery[channel] = arrival
+        self.sim.call_at(arrival,
+                         lambda: destination.enqueue_message(sender, message),
+                         label=f"deliver:{type(message).__name__}")
+
+    def send_local(self, node: "Node", message: object) -> None:
+        """Deliver a message from a node to itself without network delay.
+
+        Used when a coordinator partition also stores one of the keys of the
+        ROT it is coordinating: the "message" never hits the wire but still
+        costs CPU time to process.
+        """
+        node.enqueue_message(node, message)
+
+    @staticmethod
+    def _message_size(message: object) -> int:
+        size_fn = getattr(message, "size_bytes", None)
+        if callable(size_fn):
+            return int(size_fn())
+        return 64
+
+
+__all__ = ["LatencyModel", "Network", "NetworkStats"]

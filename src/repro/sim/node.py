@@ -1,0 +1,132 @@
+"""Simulated processes with a FIFO CPU queue.
+
+Each server in the cluster is a :class:`Node` with a single logical CPU (a
+configurable number of hardware threads is modelled as a processing-rate
+multiplier).  Messages delivered by the network are queued; the CPU serves
+them in FIFO order, charging each message the service time returned by the
+node's :meth:`Node.service_time` hook.  Queueing at the CPU — not the network —
+is what produces the latency inflation under load that the paper reports, and
+what makes CC-LO's extra PUT work visible in ROT latencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ProcessingStats:
+    """Per-node counters describing CPU usage and queueing."""
+
+    messages_processed: int = 0
+    busy_time: float = 0.0
+    total_queue_wait: float = 0.0
+    max_queue_length: int = 0
+    queue_samples: list[int] = field(default_factory=list)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of wall-clock (simulated) time the CPU was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def average_queue_wait(self) -> float:
+        """Average time a message waited in the CPU queue before service."""
+        if self.messages_processed == 0:
+            return 0.0
+        return self.total_queue_wait / self.messages_processed
+
+
+class Node:
+    """Base class for every simulated process (servers and clients).
+
+    Subclasses implement :meth:`handle_message` (the protocol logic) and
+    :meth:`service_time` (how much CPU the message costs).  Nodes are
+    identified by a globally unique ``node_id`` and belong to a data center
+    ``dc_id``.
+    """
+
+    def __init__(self, sim: Simulator, node_id: str, dc_id: int, *,
+                 threads: int = 1) -> None:
+        if threads < 1:
+            raise ConfigurationError("a node needs at least one thread")
+        self.sim = sim
+        self.node_id = node_id
+        self.dc_id = dc_id
+        self.threads = threads
+        self.stats = ProcessingStats()
+        self._queue: Deque[Tuple[object, object, float]] = deque()
+        self._busy = False
+
+    # ------------------------------------------------------------------ queue
+    def enqueue_message(self, sender: "Node", message: object) -> None:
+        """Called by the network when a message arrives at this node."""
+        self._queue.append((sender, message, self.sim.now))
+        self.stats.max_queue_length = max(self.stats.max_queue_length,
+                                          len(self._queue))
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        sender, message, enqueued_at = self._queue.popleft()
+        wait = self.sim.now - enqueued_at
+        self.stats.total_queue_wait += wait
+        service = self.service_time(message) / self.threads
+        self.stats.busy_time += service
+        self.sim.schedule(service,
+                          lambda: self._complete(sender, message),
+                          label=f"serve:{type(message).__name__}")
+
+    def _complete(self, sender: "Node", message: object) -> None:
+        self.stats.messages_processed += 1
+        self.handle_message(sender, message)
+        self._serve_next()
+
+    # ------------------------------------------------------------------ hooks
+    def service_time(self, message: object) -> float:
+        """CPU time (simulated seconds) needed to process ``message``.
+
+        The default charges nothing; servers override this with the cost
+        model.  Clients keep the default because the paper's bottleneck is the
+        servers, not the client machines.
+        """
+        return 0.0
+
+    def handle_message(self, sender: "Node", message: object) -> None:
+        """Protocol logic; subclasses must override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def queue_length(self) -> int:
+        """Number of messages currently waiting for the CPU."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.node_id!r}, dc={self.dc_id})"
+
+
+class DelayedCall:
+    """A cancellable timer bound to a node (thin wrapper over the simulator).
+
+    Protocol code uses this for retransmission-free timers such as the
+    Cure blocking wait or the CC-LO reader garbage collection.
+    """
+
+    def __init__(self, node: Node, delay: float, callback, label: str = "timer") -> None:
+        self._event = node.sim.schedule(delay, callback, label=label)
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+__all__ = ["DelayedCall", "Node", "ProcessingStats"]

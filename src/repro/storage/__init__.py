@@ -1,0 +1,6 @@
+"""Multi-version key-value storage used by every partition server."""
+
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.version import Version
+
+__all__ = ["MultiVersionStore", "Version"]

@@ -1,0 +1,113 @@
+"""Per-partition multi-version store.
+
+Every partition server owns one :class:`MultiVersionStore`.  Versions of the
+same key are kept in a list ordered by insertion; reads walk the list from the
+newest version backwards applying a protocol-supplied predicate (snapshot
+membership, visibility, old-reader exclusion).
+
+The store also implements the simple version garbage collection every real CC
+store needs: keep at most ``max_versions_per_key`` versions per key (the
+newest ones), never collecting the most recent visible version.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.version import Version
+
+#: Predicate deciding whether a version may be returned for a given read.
+VersionPredicate = Callable[[Version], bool]
+
+
+class MultiVersionStore:
+    """A multi-version key-value store for one partition."""
+
+    def __init__(self, max_versions_per_key: int = 32) -> None:
+        if max_versions_per_key < 1:
+            raise StorageError("max_versions_per_key must be at least 1")
+        self._chains: dict[str, list[Version]] = {}
+        self._max_versions = max_versions_per_key
+        self.puts_applied = 0
+        self.versions_collected = 0
+
+    # ----------------------------------------------------------------- writes
+    def install(self, version: Version) -> Version:
+        """Install a new version of ``version.key`` and return it."""
+        chain = self._chains.setdefault(version.key, [])
+        chain.append(version)
+        self.puts_applied += 1
+        if len(chain) > self._max_versions:
+            self._collect(chain)
+        return version
+
+    def _collect(self, chain: list[Version]) -> None:
+        """Trim the oldest versions beyond the retention limit."""
+        excess = len(chain) - self._max_versions
+        if excess <= 0:
+            return
+        del chain[:excess]
+        self.versions_collected += excess
+
+    # ------------------------------------------------------------------ reads
+    def latest(self, key: str,
+               predicate: Optional[VersionPredicate] = None) -> Optional[Version]:
+        """Return the newest version of ``key`` satisfying ``predicate``.
+
+        Returns ``None`` when the key does not exist or no version satisfies
+        the predicate (the protocol decides how to surface that: the paper's
+        API returns the bottom value in that case).
+        """
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        if predicate is None:
+            return chain[-1]
+        for version in reversed(chain):
+            if predicate(version):
+                return version
+        return None
+
+    def latest_visible(self, key: str) -> Optional[Version]:
+        """Return the newest visible version of ``key``."""
+        return self.latest(key, lambda v: v.is_visible())
+
+    def versions(self, key: str) -> tuple[Version, ...]:
+        """All retained versions of ``key``, oldest first."""
+        return tuple(self._chains.get(key, ()))
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all keys with at least one retained version."""
+        return iter(self._chains.keys())
+
+    def contains(self, key: str) -> bool:
+        """Whether at least one version of ``key`` is stored."""
+        return key in self._chains
+
+    def version_count(self, key: Optional[str] = None) -> int:
+        """Number of retained versions, for one key or in total."""
+        if key is not None:
+            return len(self._chains.get(key, ()))
+        return sum(len(chain) for chain in self._chains.values())
+
+    # ---------------------------------------------------------------- preload
+    def preload(self, versions: Iterable[Version]) -> None:
+        """Bulk-install initial versions without counting them as PUTs.
+
+        The harness uses this to populate the store before a run, mirroring
+        the paper's 1M-keys-per-partition preloading step.
+        """
+        for version in versions:
+            chain = self._chains.setdefault(version.key, [])
+            chain.append(version)
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MultiVersionStore(keys={len(self._chains)}, "
+                f"versions={self.version_count()})")
+
+
+__all__ = ["MultiVersionStore", "VersionPredicate"]

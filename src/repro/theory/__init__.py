@@ -1,0 +1,49 @@
+"""Theoretical results of the paper (Section 6).
+
+Theorem 1 states that any causally consistent system with latency-optimal
+ROTs must, before every *dangerous* PUT completes, exchange information whose
+worst-case size grows linearly with the number of clients.  This package
+provides:
+
+* :mod:`repro.theory.executions` — an executable rendition of the proof's
+  construction: the set of executions ``E`` indexed by the subset of clients
+  that issue the ROT, the indistinguishability argument of Lemma 1, and the
+  execution ``E*`` in which a protocol that does not communicate readers
+  returns a causally inconsistent snapshot (the straw-man Lamport-clock
+  implementation of the paper's final remark).
+* :mod:`repro.theory.lower_bound` — the counting argument of Lemma 2: with
+  ``|D|`` potential readers there are ``2^|D|`` executions that must all
+  induce different communication, so at least ``|D|`` bits must flow in the
+  worst case; plus helpers to compare the bound against the overhead measured
+  in the CC-LO simulation.
+"""
+
+from repro.theory.executions import (
+    ExecutionOutcome,
+    LamportOnlyProtocol,
+    ReaderTrackingProtocol,
+    build_execution,
+    communication_signature,
+    find_causal_violation,
+    lemma1_holds,
+)
+from repro.theory.lower_bound import (
+    executions_count,
+    lower_bound_bits,
+    measured_bits_per_dangerous_put,
+    verify_bound_against_measurement,
+)
+
+__all__ = [
+    "ExecutionOutcome",
+    "LamportOnlyProtocol",
+    "ReaderTrackingProtocol",
+    "build_execution",
+    "communication_signature",
+    "executions_count",
+    "find_causal_violation",
+    "lemma1_holds",
+    "lower_bound_bits",
+    "measured_bits_per_dangerous_put",
+    "verify_bound_against_measurement",
+]

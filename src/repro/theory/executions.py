@@ -1,0 +1,239 @@
+"""Executable rendition of the Theorem 1 proof construction (Section 6.3).
+
+The proof considers two keys ``x`` and ``y`` on different partitions ``px``
+and ``py``, a writer client ``cw`` that issues
+``PUT(x, X0); PUT(y, Y0); PUT(x, X1); PUT(y, Y1)`` (each after the previous
+one completed, so ``X0 ; X1 ; Y1``), and a set ``D`` of potential reader
+clients.  For every subset ``R`` of ``D`` an execution ``E(R)`` is built in
+which exactly the clients in ``R`` issue ``ROT({x, y})`` at the same time
+``t1``, with both reads arriving at ``t2``, *before* ``PUT(x, X1)`` is
+issued.
+
+Lemma 1 says that for a correct latency-optimal protocol, different subsets
+``R`` must lead to different inter-partition communication before
+``PUT(y, Y1)`` completes — otherwise one can build an execution ``E*`` in
+which an old reader's delayed read of ``y`` returns ``Y1`` while its read of
+``x`` returned ``X0``, a causally inconsistent snapshot.
+
+This module makes that argument executable with two toy protocols on an
+abstract two-partition system:
+
+* :class:`ReaderTrackingProtocol` — communicates the identities of (old)
+  readers from ``px`` to ``py`` (the COPS-SNOW behaviour).  Lemma 1 holds:
+  the communication signature differs for every subset of readers, and no
+  execution produces an inconsistent snapshot.
+* :class:`LamportOnlyProtocol` — the straw-man of the paper's final remark:
+  only a Lamport timestamp is communicated.  Different subsets of readers can
+  produce identical communication, and the ``E*`` construction yields the
+  snapshot ``(X0, Y1)``, violating causal consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from repro.errors import TheoryError
+
+#: Version labels used throughout the construction.
+X0, X1, Y0, Y1 = "X0", "X1", "Y0", "Y1"
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """The observable outcome of one constructed execution.
+
+    Attributes
+    ----------
+    readers:
+        The subset ``R`` of clients that issued ``ROT({x, y})`` at ``t1``.
+    signature:
+        Concatenation of the messages ``px``/``py`` exchange before
+        ``PUT(y, Y1)`` completes (Lemma 1's ``str_i``).
+    late_read_results:
+        For each client whose read of ``y`` is delayed past the completion of
+        ``PUT(y, Y1)`` (the ``E*`` schedule), the snapshot ``(x-version,
+        y-version)`` it ends up observing.
+    """
+
+    readers: frozenset[str]
+    signature: tuple[str, ...]
+    late_read_results: dict[str, tuple[str, str]]
+
+    def violates_causal_consistency(self) -> bool:
+        """Whether any client observed the forbidden snapshot ``(X0, Y1)``."""
+        return any(result == (X0, Y1)
+                   for result in self.late_read_results.values())
+
+
+class RotProtocolModel(Protocol):
+    """Interface of the toy protocols used by the construction."""
+
+    name: str
+
+    def readers_check_payload(self, old_readers: Sequence[str]) -> tuple[str, ...]:
+        """Messages sent from ``px`` to ``py`` when ``y`` is overwritten."""
+        ...
+
+    def y_read_result(self, client: str, payload: tuple[str, ...]) -> str:
+        """Version of ``y`` returned to a delayed read by ``client``."""
+        ...
+
+
+class ReaderTrackingProtocol:
+    """COPS-SNOW-like protocol: the readers check ships reader identities."""
+
+    name = "reader-tracking"
+
+    def readers_check_payload(self, old_readers: Sequence[str]) -> tuple[str, ...]:
+        """One message listing every old reader of ``x`` (sorted, explicit)."""
+        return tuple(f"old-reader:{client}" for client in sorted(old_readers))
+
+    def y_read_result(self, client: str, payload: tuple[str, ...]) -> str:
+        """Return the old version to clients named in the payload."""
+        if f"old-reader:{client}" in payload:
+            return Y0
+        return Y1
+
+
+class LamportOnlyProtocol:
+    """Straw-man protocol: only a Lamport timestamp crosses partitions."""
+
+    name = "lamport-only"
+
+    def readers_check_payload(self, old_readers: Sequence[str]) -> tuple[str, ...]:
+        """A single timestamp whose value is the number of reads seen so far.
+
+        The number of increments is bounded by the number of ROTs, so many
+        different subsets of readers map to the same payload — exactly the
+        pigeonhole collision the proof of Lemma 1 exploits.
+        """
+        return (f"timestamp:{len(old_readers)}",)
+
+    def y_read_result(self, client: str, payload: tuple[str, ...]) -> str:
+        """Without reader identities ``py`` cannot tell old readers apart."""
+        del client, payload
+        return Y1
+
+
+def build_execution(protocol: RotProtocolModel, readers: Iterable[str],
+                    delayed_readers: Iterable[str] = ()) -> ExecutionOutcome:
+    """Construct one execution of the Section 6.3 scenario.
+
+    Parameters
+    ----------
+    protocol:
+        The toy protocol deciding what crosses the ``px`` -> ``py`` link.
+    readers:
+        The subset ``R`` of clients issuing ``ROT({x, y})`` at ``t1``; their
+        read of ``x`` returns ``X0`` and is recorded by ``px`` before
+        ``PUT(x, X1)`` is issued.
+    delayed_readers:
+        Clients whose read of ``y`` is postponed until after ``PUT(y, Y1)``
+        completes (the ``E*`` schedule).  They must be a subset of
+        ``readers``.
+    """
+    reader_set = frozenset(readers)
+    delayed = frozenset(delayed_readers)
+    if not delayed.issubset(reader_set):
+        raise TheoryError("delayed readers must be a subset of the readers")
+    # t1/t2: every reader's read of x reaches px and returns X0; px records
+    # them.  PUT(x, X1) then makes every one of them an old reader of x.
+    old_readers_of_x = sorted(reader_set)
+    # PUT(y, Y1) declares its dependency on X1; before it completes, px and
+    # py exchange whatever the protocol prescribes.
+    signature = protocol.readers_check_payload(old_readers_of_x)
+    # E* schedule: the delayed readers' reads of y arrive after Y1 is visible.
+    late_results = {client: (X0, protocol.y_read_result(client, signature))
+                    for client in sorted(delayed)}
+    return ExecutionOutcome(readers=reader_set, signature=signature,
+                            late_read_results=late_results)
+
+
+def communication_signature(protocol: RotProtocolModel,
+                            readers: Iterable[str]) -> tuple[str, ...]:
+    """The Lemma 1 communication string of execution ``E(readers)``."""
+    return build_execution(protocol, readers).signature
+
+
+def lemma1_holds(protocol: RotProtocolModel, clients: Sequence[str]) -> bool:
+    """Check Lemma 1 over every pair of subsets of ``clients``.
+
+    Returns True iff any two *different* subsets of readers produce different
+    communication signatures.  The check is exponential in ``len(clients)``
+    and intended for the small sizes used in tests and benchmarks.
+    """
+    subsets = _all_subsets(clients)
+    seen: dict[tuple[str, ...], frozenset[str]] = {}
+    for subset in subsets:
+        signature = communication_signature(protocol, subset)
+        other = seen.get(signature)
+        if other is not None and other != frozenset(subset):
+            return False
+        seen[signature] = frozenset(subset)
+    return True
+
+
+def find_causal_violation(protocol: RotProtocolModel,
+                          clients: Sequence[str]) -> ExecutionOutcome | None:
+    """Search for an ``E*``-style execution with an inconsistent snapshot.
+
+    Mirrors the proof: take two subsets ``R1`` and ``R2`` with the same
+    communication signature and ``R1 \\ R2`` non-empty; build ``E*`` from
+    ``E(R2)`` by letting the clients in ``R1 \\ R2`` read ``y`` after
+    ``PUT(y, Y1)`` completed.  ``py`` cannot distinguish ``E*`` from
+    ``E(R2)``, so it serves them ``Y1`` and the snapshot ``(X0, Y1)`` appears.
+    Returns the violating outcome, or ``None`` for protocols (like the
+    reader-tracking one) where no such pair of executions exists.
+    """
+    subsets = _all_subsets(clients)
+    by_signature: dict[tuple[str, ...], list[frozenset[str]]] = {}
+    for subset in subsets:
+        signature = communication_signature(protocol, subset)
+        by_signature.setdefault(signature, []).append(frozenset(subset))
+    for signature, groups in by_signature.items():
+        if len(groups) < 2:
+            continue
+        for r1 in groups:
+            for r2 in groups:
+                difference = r1 - r2
+                if not difference:
+                    continue
+                # E* is built on E(R2): the readers are those of R2, plus the
+                # clients of R1 \ R2 whose read of y is delayed.  py observes
+                # the same communication (signature) as in E(R2), so it
+                # answers the delayed reads as it would there.
+                outcome = ExecutionOutcome(
+                    readers=r1 | r2, signature=signature,
+                    late_read_results={
+                        client: (X0, protocol.y_read_result(client, signature))
+                        for client in sorted(difference)})
+                if outcome.violates_causal_consistency():
+                    return outcome
+    return None
+
+
+def _all_subsets(clients: Sequence[str]) -> list[tuple[str, ...]]:
+    if len(clients) > 16:
+        raise TheoryError("subset enumeration is limited to 16 clients")
+    subsets: list[tuple[str, ...]] = []
+    for mask in range(1 << len(clients)):
+        subsets.append(tuple(client for index, client in enumerate(clients)
+                             if mask & (1 << index)))
+    return subsets
+
+
+__all__ = [
+    "ExecutionOutcome",
+    "LamportOnlyProtocol",
+    "ReaderTrackingProtocol",
+    "RotProtocolModel",
+    "X0",
+    "X1",
+    "Y0",
+    "Y1",
+    "build_execution",
+    "communication_signature",
+    "find_causal_violation",
+    "lemma1_holds",
+]

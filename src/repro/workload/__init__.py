@@ -1,0 +1,24 @@
+"""Workload generation: Table-1 parameters, zipfian sampling, operation mix."""
+
+from repro.workload.generator import Operation, WorkloadGenerator
+from repro.workload.parameters import (
+    DEFAULT_WORKLOAD,
+    ROT_SIZES,
+    SKEWS,
+    VALUE_SIZES,
+    WRITE_RATIOS,
+    WorkloadParameters,
+)
+from repro.workload.zipfian import ZipfianSampler
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "Operation",
+    "ROT_SIZES",
+    "SKEWS",
+    "VALUE_SIZES",
+    "WRITE_RATIOS",
+    "WorkloadGenerator",
+    "WorkloadParameters",
+    "ZipfianSampler",
+]

@@ -1,0 +1,122 @@
+"""Workload parameters from Table 1 of the paper.
+
+The evaluation varies four knobs:
+
+=====================  =====================================  ===============
+Parameter              Definition                              Values
+=====================  =====================================  ===============
+Write/read ratio ``w``  #PUTs / (#PUTs + #individual reads)    0.01, 0.05, 0.1
+Size of a ROT ``p``     partitions involved in a ROT           4, 8, 24
+Size of values ``b``    value size in bytes (keys are 8 B)     8, 128, 2048
+Skew ``z``              zipfian parameter of key popularity    0.99, 0.8, 0
+=====================  =====================================  ===============
+
+The default workload (bold in the paper's Table 1) is ``w=0.05``, ``z=0.99``,
+``p=4``, ``b=8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+#: The parameter grids from Table 1.
+WRITE_RATIOS: tuple[float, ...] = (0.01, 0.05, 0.1)
+ROT_SIZES: tuple[int, ...] = (4, 8, 24)
+VALUE_SIZES: tuple[int, ...] = (8, 128, 2048)
+SKEWS: tuple[float, ...] = (0.99, 0.8, 0.0)
+
+#: Fixed key size in bytes (Table 1: "Keys take 8 bytes").
+KEY_SIZE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """One point in the Table-1 parameter space.
+
+    Attributes
+    ----------
+    write_ratio:
+        ``w`` — the fraction of PUTs among all individual operations, where a
+        ROT reading ``k`` keys counts as ``k`` reads (the paper's definition).
+    rot_size:
+        ``p`` — number of partitions a ROT spans (one key per partition).
+    value_size:
+        ``b`` — value size in bytes.
+    skew:
+        ``z`` — zipfian parameter of key popularity within a partition
+        (0 means uniform).
+    """
+
+    write_ratio: float = 0.05
+    rot_size: int = 4
+    value_size: int = 8
+    skew: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise WorkloadError(f"write_ratio must be in [0, 1], got {self.write_ratio}")
+        if self.rot_size < 1:
+            raise WorkloadError(f"rot_size must be >= 1, got {self.rot_size}")
+        if self.value_size < 1:
+            raise WorkloadError(f"value_size must be >= 1, got {self.value_size}")
+        if self.skew < 0:
+            raise WorkloadError(f"skew must be >= 0, got {self.skew}")
+
+    @property
+    def put_probability(self) -> float:
+        """Probability that the next client operation is a PUT.
+
+        ``w`` is defined over *individual reads*: a ROT of ``p`` keys counts
+        as ``p`` reads.  If a client issues a PUT with probability ``q`` and a
+        ROT otherwise, then ``w = q / (q + (1-q)*p)``, so
+        ``q = w*p / (1 - w + w*p)``.
+        """
+        w, p = self.write_ratio, self.rot_size
+        if w == 0.0:
+            return 0.0
+        return (w * p) / (1.0 - w + w * p)
+
+    def with_changes(self, **changes: object) -> "WorkloadParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports."""
+        return (f"w={self.write_ratio} p={self.rot_size} "
+                f"b={self.value_size}B z={self.skew}")
+
+
+#: The paper's default workload (bold values in Table 1).
+DEFAULT_WORKLOAD = WorkloadParameters()
+
+
+def table1_grid() -> list[WorkloadParameters]:
+    """All single-axis variations of the default workload used in Section 5."""
+    points: list[WorkloadParameters] = [DEFAULT_WORKLOAD]
+    for w in WRITE_RATIOS:
+        if w != DEFAULT_WORKLOAD.write_ratio:
+            points.append(DEFAULT_WORKLOAD.with_changes(write_ratio=w))
+    for p in ROT_SIZES:
+        if p != DEFAULT_WORKLOAD.rot_size:
+            points.append(DEFAULT_WORKLOAD.with_changes(rot_size=p))
+    for b in VALUE_SIZES:
+        if b != DEFAULT_WORKLOAD.value_size:
+            points.append(DEFAULT_WORKLOAD.with_changes(value_size=b))
+    for z in SKEWS:
+        if z != DEFAULT_WORKLOAD.skew:
+            points.append(DEFAULT_WORKLOAD.with_changes(skew=z))
+    return points
+
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "KEY_SIZE_BYTES",
+    "ROT_SIZES",
+    "SKEWS",
+    "VALUE_SIZES",
+    "WRITE_RATIOS",
+    "WorkloadParameters",
+    "table1_grid",
+]

@@ -1,0 +1,110 @@
+"""Zipfian key-popularity sampling.
+
+The paper draws keys within a partition from a zipfian distribution with
+parameter ``z`` (0.99 by default, the YCSB "strong skew" setting; 0 means
+uniform).  The sampler below uses the classic YCSB approach (Gray et al.'s
+"Quickly generating billion-record synthetic databases" formula): constant-time
+sampling after a one-off O(n) computation of the generalised harmonic number.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+
+class ZipfianSampler:
+    """Samples integers in ``[0, num_items)`` with zipfian popularity.
+
+    Item 0 is the most popular.  A ``skew`` of 0 degenerates to the uniform
+    distribution (and skips the harmonic-number computation entirely).
+    """
+
+    def __init__(self, num_items: int, skew: float, rng: random.Random) -> None:
+        if num_items < 1:
+            raise WorkloadError(f"num_items must be >= 1, got {num_items}")
+        if skew < 0:
+            raise WorkloadError(f"skew must be >= 0, got {skew}")
+        self._num_items = num_items
+        self._skew = skew
+        self._rng = rng
+        if skew > 0 and num_items > 1:
+            self._zetan = self._zeta(num_items, skew)
+            self._theta = skew
+            self._alpha = 1.0 / (1.0 - skew) if skew != 1.0 else float("inf")
+            self._zeta2 = self._zeta(2, skew)
+            if skew == 1.0 or num_items <= 2:
+                # The eta shortcut degenerates for two items (zeta2 == zetan)
+                # and for skew exactly 1; those cases use inverse-CDF sampling.
+                self._eta = 0.0
+            else:
+                self._eta = ((1.0 - (2.0 / num_items) ** (1.0 - skew))
+                             / (1.0 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        """Generalised harmonic number ``sum_{i=1..n} 1/i^theta``."""
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def skew(self) -> float:
+        return self._skew
+
+    def sample(self) -> int:
+        """Draw one item index."""
+        if self._skew == 0 or self._num_items == 1:
+            return self._rng.randrange(self._num_items)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self._theta:
+            return 1
+        if self._theta == 1.0:
+            # Harmonic case: fall back to inverse-CDF by linear search over a
+            # logarithmic approximation; exact enough for popularity skew.
+            target = u * self._zetan
+            cumulative = 0.0
+            for index in range(self._num_items):
+                cumulative += 1.0 / (index + 1)
+                if cumulative >= target:
+                    return index
+            return self._num_items - 1
+        value = int(self._num_items
+                    * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(max(value, 0), self._num_items - 1)
+
+    def sample_distinct(self, count: int) -> list[int]:
+        """Draw ``count`` distinct item indices (used for multi-key ROTs)."""
+        if count > self._num_items:
+            raise WorkloadError(
+                f"cannot draw {count} distinct items from {self._num_items}")
+        seen: set[int] = set()
+        while len(seen) < count:
+            seen.add(self.sample())
+        return sorted(seen)
+
+    def probability_of(self, index: int) -> float:
+        """Theoretical probability of drawing ``index`` (for tests)."""
+        if not 0 <= index < self._num_items:
+            raise WorkloadError(f"index {index} out of range")
+        if self._skew == 0 or self._num_items == 1:
+            return 1.0 / self._num_items
+        return (1.0 / ((index + 1) ** self._skew)) / self._zetan
+
+
+def expected_head_mass(num_items: int, skew: float, head: int) -> float:
+    """Probability mass of the ``head`` most popular items (analysis helper)."""
+    if skew == 0:
+        return min(1.0, head / num_items)
+    total = sum(1.0 / (i ** skew) for i in range(1, num_items + 1))
+    head_sum = sum(1.0 / (i ** skew) for i in range(1, min(head, num_items) + 1))
+    return head_sum / total
+
+
+__all__ = ["ZipfianSampler", "expected_head_mass"]

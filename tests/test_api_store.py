@@ -1,0 +1,115 @@
+"""Tests for the CausalStore facade (the paper's API, driven step by step)."""
+
+import pytest
+
+from repro.api import CausalStore
+from repro.cluster.config import ClusterConfig
+
+
+PROTOCOLS = ("contrarian", "cure", "cc-lo")
+
+
+class TestBasicOperations:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_put_then_get_returns_new_version(self, protocol):
+        store = CausalStore(protocol=protocol)
+        written = store.put("user:1")
+        read = store.get("user:1")
+        assert read == written.values["user:1"]
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_get_of_preloaded_key_returns_initial_version(self, protocol):
+        store = CausalStore(protocol=protocol)
+        assert store.get("0:0") == 0
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_rot_returns_one_value_per_key(self, protocol):
+        store = CausalStore(protocol=protocol)
+        store.put("a")
+        store.put("b")
+        result = store.rot(["a", "b", "c"])
+        assert set(result.values) == {"a", "b", "c"}
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_latencies_are_positive_and_bounded(self, protocol):
+        store = CausalStore(protocol=protocol)
+        result = store.rot(["a", "b"])
+        assert 0.0 < result.latency_ms < 50.0
+
+    def test_history_is_recorded_in_order(self):
+        store = CausalStore()
+        store.put("x")
+        store.rot(["x"])
+        kinds = [entry.kind for entry in store.history]
+        assert kinds == ["put", "rot"]
+
+    def test_unknown_dc_rejected(self):
+        store = CausalStore()
+        with pytest.raises(Exception):
+            store.put("x", dc=7)
+
+
+class TestCausality:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_read_your_writes(self, protocol):
+        store = CausalStore(protocol=protocol)
+        first = store.put("k").values["k"]
+        second = store.put("k").values["k"]
+        assert second > first
+        assert store.get("k") == second
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_photo_album_scenario_is_causally_consistent(self, protocol):
+        """Alice changes the ACL then adds a photo; no one may observe the new
+        photo list together with the old ACL."""
+        store = CausalStore(protocol=protocol)
+        acl_v1 = store.put("album:acl").values["album:acl"]
+        store.put("album:photos")
+        acl_v2 = store.put("album:acl").values["album:acl"]
+        photos_v2 = store.put("album:photos").values["album:photos"]
+        snapshot = store.rot(["album:acl", "album:photos"]).values
+        if snapshot["album:photos"] == photos_v2:
+            assert snapshot["album:acl"] == acl_v2
+        assert acl_v2 > acl_v1
+        assert store.check().ok
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_checker_validates_full_history(self, protocol):
+        store = CausalStore(protocol=protocol)
+        for index in range(5):
+            store.put(f"key-{index % 2}")
+            store.rot(["key-0", "key-1"])
+        report = store.check()
+        assert report.ok
+        assert report.puts == 5
+        assert report.rots >= 5
+
+
+class TestMultiDc:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_remote_update_becomes_visible_eventually(self, protocol):
+        """Eventual visibility: a PUT in DC0 is eventually readable from DC1."""
+        store = CausalStore(protocol=protocol, num_dcs=2, num_partitions=4)
+        written = store.put("shared", dc=0).values["shared"]
+        store.advance(0.2)  # let replication and stabilization run
+        observed = store.get("shared", dc=1)
+        assert observed == written
+
+    def test_clients_exist_per_dc(self):
+        store = CausalStore(num_dcs=2)
+        assert store.get("0:1", dc=0) == 0
+        assert store.get("0:1", dc=1) == 0
+
+
+class TestConfiguration:
+    def test_custom_config_is_used(self):
+        config = ClusterConfig.test_scale(num_partitions=2, clients_per_dc=1)
+        store = CausalStore(protocol="contrarian", config=config)
+        assert store.cluster.config.num_partitions == 2
+        assert store.get("0:0") == 0
+
+    def test_cluster_is_inspectable(self):
+        store = CausalStore()
+        store.put("x")
+        servers = list(store.cluster.topology.all_servers())
+        assert sum(server.store.puts_applied for server in servers) == 1

@@ -1,0 +1,160 @@
+"""Tests for vectors, the GSS stabilization state and dependency contexts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal.dependencies import ClientDependencyContext, Dependency
+from repro.causal.stabilization import GlobalStableSnapshot
+from repro.causal.vectors import (
+    entrywise_max,
+    entrywise_min,
+    entrywise_min_all,
+    vector_leq,
+    with_entry,
+    zero_vector,
+)
+from repro.errors import ProtocolError
+
+vectors = st.lists(st.integers(min_value=0, max_value=1_000_000),
+                   min_size=1, max_size=5)
+
+
+class TestVectorHelpers:
+    def test_zero_vector(self):
+        assert zero_vector(3) == (0, 0, 0)
+
+    def test_zero_vector_requires_positive_length(self):
+        with pytest.raises(ProtocolError):
+            zero_vector(0)
+
+    def test_entrywise_max(self):
+        assert entrywise_max((1, 5), (3, 2)) == (3, 5)
+
+    def test_entrywise_min(self):
+        assert entrywise_min((1, 5), (3, 2)) == (1, 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            entrywise_max((1,), (1, 2))
+
+    def test_min_all(self):
+        assert entrywise_min_all([(3, 4), (1, 9), (2, 2)]) == (1, 2)
+
+    def test_min_all_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            entrywise_min_all([])
+
+    def test_vector_leq(self):
+        assert vector_leq((1, 2), (1, 3))
+        assert not vector_leq((2, 2), (1, 3))
+
+    def test_with_entry(self):
+        assert with_entry((1, 2, 3), 1, 9) == (1, 9, 3)
+
+    def test_with_entry_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            with_entry((1, 2), 5, 0)
+
+    @given(vectors, vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_max_dominates_both(self, a, b):
+        size = min(len(a), len(b))
+        a, b = tuple(a[:size]), tuple(b[:size])
+        merged = entrywise_max(a, b)
+        assert vector_leq(a, merged)
+        assert vector_leq(b, merged)
+
+    @given(vectors, vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_min_is_dominated_by_both(self, a, b):
+        size = min(len(a), len(b))
+        a, b = tuple(a[:size]), tuple(b[:size])
+        merged = entrywise_min(a, b)
+        assert vector_leq(merged, a)
+        assert vector_leq(merged, b)
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_leq_is_reflexive(self, a):
+        assert vector_leq(tuple(a), tuple(a))
+
+
+class TestGlobalStableSnapshot:
+    def test_initial_gss_is_zero(self):
+        gss = GlobalStableSnapshot(num_dcs=2, num_partitions=3, partition_index=0)
+        assert gss.gss == (0, 0)
+
+    def test_gss_is_minimum_of_known_vvs(self):
+        gss = GlobalStableSnapshot(num_dcs=2, num_partitions=2, partition_index=0)
+        gss.update_local_vv((10, 20))
+        gss.observe_remote_vv(1, (5, 30))
+        assert gss.gss == (5, 20)
+
+    def test_vv_entries_never_move_backwards(self):
+        gss = GlobalStableSnapshot(num_dcs=1, num_partitions=2, partition_index=0)
+        gss.update_local_vv((10,))
+        gss.observe_remote_vv(1, (8,))
+        gss.observe_remote_vv(1, (4,))  # reordered, older message
+        assert gss.gss == (8,)
+
+    def test_merge_observed_gss_moves_forward_only(self):
+        gss = GlobalStableSnapshot(num_dcs=2, num_partitions=1, partition_index=0)
+        gss.update_local_vv((5, 5))
+        assert gss.merge_observed_gss((3, 9)) == (5, 9)
+
+    def test_wrong_vector_length_rejected(self):
+        gss = GlobalStableSnapshot(num_dcs=2, num_partitions=1, partition_index=0)
+        with pytest.raises(ProtocolError):
+            gss.update_local_vv((1,))
+
+    def test_partition_index_validated(self):
+        with pytest.raises(ProtocolError):
+            GlobalStableSnapshot(num_dcs=1, num_partitions=2, partition_index=5)
+
+    def test_gss_never_exceeds_any_known_vv(self):
+        gss = GlobalStableSnapshot(num_dcs=2, num_partitions=3, partition_index=0)
+        gss.update_local_vv((100, 50))
+        gss.observe_remote_vv(1, (60, 80))
+        gss.observe_remote_vv(2, (90, 10))
+        assert gss.gss == (60, 10)
+
+
+class TestClientDependencyContext:
+    def test_observe_read_records_dependency(self):
+        context = ClientDependencyContext()
+        context.observe_read("x", 5, partition=1, origin_dc=0)
+        assert context.dependencies() == (Dependency("x", 5, 1, 0),)
+
+    def test_newer_read_replaces_older(self):
+        context = ClientDependencyContext()
+        context.observe_read("x", 5, 1)
+        context.observe_read("x", 9, 1)
+        context.observe_read("x", 3, 1)
+        assert context.dependencies()[0].timestamp == 9
+
+    def test_write_subsumes_previous_context(self):
+        context = ClientDependencyContext()
+        context.observe_read("x", 5, 1)
+        context.observe_read("y", 7, 2)
+        context.observe_write("z", 11, 3)
+        assert len(context) == 1
+        assert context.dependencies()[0].key == "z"
+
+    def test_dependency_partitions_are_distinct_and_sorted(self):
+        context = ClientDependencyContext()
+        context.observe_read("a", 1, 4)
+        context.observe_read("b", 2, 2)
+        context.observe_read("c", 3, 4)
+        assert context.dependency_partitions() == (2, 4)
+
+    def test_dependency_encodings(self):
+        dep = Dependency("x", 5, 1, origin_dc=1)
+        assert dep.as_pair() == ("x", 5)
+        assert dep.as_triple() == ("x", 5, 1)
+
+    def test_dependencies_sorted_deterministically(self):
+        context = ClientDependencyContext()
+        context.observe_read("b", 2, 0)
+        context.observe_read("a", 1, 0)
+        assert [dep.key for dep in context.dependencies()] == ["a", "b"]

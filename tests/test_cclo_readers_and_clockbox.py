@@ -1,0 +1,140 @@
+"""Tests for the CC-LO reader records and the vector-protocol clock box."""
+
+import pytest
+
+from repro.core.cclo.readers import ReaderRecords
+from repro.core.vector.clockbox import ClockBox
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+class TestReaderRecords:
+    def _records(self, gc_window=1.0, one_per_client=True):
+        return ReaderRecords(gc_window_seconds=gc_window,
+                             one_id_per_client=one_per_client)
+
+    def test_current_readers_are_not_old_readers(self):
+        records = self._records()
+        records.record_current_reader("x", "c1#1", "c1", 10, now=0.0)
+        assert records.old_readers_of("x", now=0.1) == []
+        assert records.current_reader_count("x") == 1
+
+    def test_version_visibility_demotes_current_readers(self):
+        records = self._records()
+        records.record_current_reader("x", "c1#1", "c1", 10, now=0.0)
+        records.record_current_reader("x", "c2#5", "c2", 11, now=0.0)
+        demoted = records.on_version_visible("x", now=0.1)
+        assert demoted == 2
+        assert records.current_reader_count("x") == 0
+        assert len(records.old_readers_of("x", now=0.2)) == 2
+
+    def test_explicit_old_reader_recording(self):
+        records = self._records()
+        records.record_old_reader("x", "c1#3", "c1", 7, now=0.0)
+        assert records.old_readers_of("x", now=0.1) == [("c1#3", 7)]
+
+    def test_gc_window_expires_entries(self):
+        records = self._records(gc_window=0.5)
+        records.record_old_reader("x", "c1#1", "c1", 1, now=0.0)
+        assert records.old_readers_of("x", now=0.4)
+        assert records.old_readers_of("x", now=1.0) == []
+        assert records.entries_expired >= 1
+
+    def test_collect_garbage_purges_everything_expired(self):
+        records = self._records(gc_window=0.1)
+        for index in range(5):
+            records.record_old_reader(f"k{index}", f"c#{index}", "c", index, now=0.0)
+        removed = records.collect_garbage(now=1.0)
+        assert removed == 5
+        assert records.total_tracked_entries() == 0
+
+    def test_one_id_per_client_keeps_most_recent(self):
+        records = self._records(one_per_client=True)
+        records.record_old_reader("x", "c1#1", "c1", 5, now=0.0)
+        records.record_old_reader("x", "c1#2", "c1", 9, now=0.0)
+        records.record_old_reader("x", "c2#1", "c2", 3, now=0.0)
+        collected = dict(records.old_readers_of("x", now=0.1))
+        assert collected == {"c1#2": 9, "c2#1": 3}
+
+    def test_compression_disabled_keeps_every_id(self):
+        records = self._records(one_per_client=False)
+        records.record_old_reader("x", "c1#1", "c1", 5, now=0.0)
+        records.record_old_reader("x", "c1#2", "c1", 9, now=0.0)
+        assert len(records.old_readers_of("x", now=0.1)) == 2
+
+    def test_collect_for_response_compresses_across_keys(self):
+        records = self._records(one_per_client=True)
+        records.record_old_reader("x", "c1#1", "c1", 5, now=0.0)
+        records.record_old_reader("y", "c1#2", "c1", 9, now=0.0)
+        records.record_old_reader("y", "c2#7", "c2", 2, now=0.0)
+        collected = dict(records.collect_for_response(["x", "y"], now=0.1))
+        assert collected == {"c1#2": 9, "c2#7": 2}
+
+    def test_collect_for_response_without_compression_dedups_by_rot(self):
+        records = self._records(one_per_client=False)
+        records.record_old_reader("x", "c1#1", "c1", 5, now=0.0)
+        records.record_old_reader("y", "c1#1", "c1", 6, now=0.0)
+        collected = records.collect_for_response(["x", "y"], now=0.1)
+        assert len(collected) == 1
+
+    def test_collect_for_response_applies_gc(self):
+        records = self._records(gc_window=0.2)
+        records.record_old_reader("x", "c1#1", "c1", 5, now=0.0)
+        assert records.collect_for_response(["x"], now=1.0) == []
+
+
+class TestClockBox:
+    def _sim_at(self, seconds):
+        sim = Simulator()
+        sim.run(until=seconds)
+        return sim
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockBox("sundial", Simulator(), 0.0)
+
+    def test_hlc_and_logical_timestamps_never_block(self):
+        for mode in ("hlc", "logical"):
+            clock = ClockBox(mode, self._sim_at(0.001), offset_us=0.0)
+            decision = clock.timestamp_after(10**9)
+            assert decision.wait_seconds == 0.0
+            assert decision.timestamp > 10**9
+
+    def test_physical_timestamps_may_wait(self):
+        clock = ClockBox("physical", self._sim_at(0.001), offset_us=0.0)
+        decision = clock.timestamp_after(5000)
+        assert decision.wait_seconds > 0.0
+
+    def test_physical_timestamp_without_wait_when_ahead(self):
+        clock = ClockBox("physical", self._sim_at(0.010), offset_us=0.0)
+        decision = clock.timestamp_after(100)
+        assert decision.wait_seconds == 0.0
+        assert decision.timestamp >= 10_000
+
+    def test_catch_up_moves_movable_clocks(self):
+        for mode in ("hlc", "logical"):
+            clock = ClockBox(mode, self._sim_at(0.001), offset_us=0.0)
+            assert clock.catch_up(10**8) == 0.0
+            assert clock.read() >= 10**8
+
+    def test_catch_up_blocks_physical_clocks(self):
+        clock = ClockBox("physical", self._sim_at(0.001), offset_us=0.0)
+        wait = clock.catch_up(3000)
+        assert wait == pytest.approx(0.002)
+
+    def test_observe_advances_logical_clocks_only(self):
+        logical = ClockBox("logical", self._sim_at(0.0), offset_us=0.0)
+        logical.observe(500)
+        assert logical.read() >= 500
+        physical = ClockBox("physical", self._sim_at(0.001), offset_us=0.0)
+        physical.observe(10**9)
+        assert physical.read() < 10**9
+
+    def test_offset_shifts_physical_reading(self):
+        ahead = ClockBox("physical", self._sim_at(0.001), offset_us=200.0)
+        behind = ClockBox("physical", self._sim_at(0.001), offset_us=-200.0)
+        assert ahead.read() > behind.read()
+
+    def test_read_does_not_advance_logical_clock(self):
+        clock = ClockBox("logical", Simulator(), offset_us=0.0)
+        assert clock.read() == clock.read()

@@ -1,0 +1,154 @@
+"""Tests for the causal-consistency checker on hand-crafted histories."""
+
+import pytest
+
+from repro.causal.checker import (
+    CausalConsistencyChecker,
+    RecordedPut,
+    RecordedRead,
+    RecordedRot,
+)
+from repro.errors import ConsistencyViolation
+
+
+def put(key, ts, client="writer", seq=1, deps=(), origin=0):
+    return RecordedPut(key=key, timestamp=ts, origin_dc=origin, client=client,
+                       sequence=seq, dependencies=tuple(deps))
+
+
+def rot(rot_id, reads, client="reader", seq=1):
+    return RecordedRot(rot_id=rot_id, client=client, sequence=seq,
+                       reads=tuple(RecordedRead(key=k, timestamp=ts, origin_dc=o)
+                                   for k, ts, o in reads))
+
+
+class TestSnapshotChecking:
+    def test_empty_history_is_ok(self):
+        assert CausalConsistencyChecker().check().ok
+
+    def test_consistent_snapshot_passes(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, seq=1))
+        checker.record_put(put("y", 2, seq=2, deps=[("x", 1, 0)]))
+        checker.record_rot(rot("t1", [("x", 1, 0), ("y", 2, 0)]))
+        assert checker.check().ok
+
+    def test_photo_album_anomaly_is_detected(self):
+        """The paper's Alice/Bob anomaly: read old ACL with new photo list."""
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("acl", 1, client="alice", seq=1))
+        checker.record_put(put("acl", 2, client="alice", seq=2,
+                               deps=[("acl", 1, 0)]))
+        checker.record_put(put("photos", 3, client="alice", seq=3,
+                               deps=[("acl", 2, 0)]))
+        checker.record_rot(rot("bob-rot", [("acl", 1, 0), ("photos", 3, 0)],
+                               client="bob"))
+        report = checker.check()
+        assert not report.ok
+        assert len(report.snapshot_violations) == 1
+        with pytest.raises(ConsistencyViolation):
+            report.raise_if_violations()
+
+    def test_reading_both_old_versions_is_consistent(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("acl", 1, seq=1))
+        checker.record_put(put("acl", 2, seq=2, deps=[("acl", 1, 0)]))
+        checker.record_put(put("photos", 3, seq=3, deps=[("acl", 2, 0)]))
+        checker.record_rot(rot("t", [("acl", 1, 0), ("photos", None, 0)]))
+        # photos missing (never read a version that depends on the new acl).
+        assert checker.check().ok
+
+    def test_transitive_dependency_violation_detected(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, seq=1))
+        checker.record_put(put("x", 2, seq=2, deps=[("x", 1, 0)]))
+        checker.record_put(put("y", 5, seq=3, deps=[("x", 2, 0)]))
+        checker.record_put(put("z", 9, seq=4, deps=[("y", 5, 0)]))
+        checker.record_rot(rot("t", [("x", 1, 0), ("z", 9, 0)]))
+        assert not checker.check().ok
+
+    def test_concurrent_versions_are_not_a_violation(self):
+        """Cross-DC concurrent writes to the same key form a valid snapshot."""
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 10, origin=0, client="c0", seq=1))
+        checker.record_put(put("x", 4, origin=1, client="c1", seq=1))
+        checker.record_put(put("y", 11, origin=0, client="c0", seq=2,
+                               deps=[("x", 10, 0)]))
+        # Returned x is the DC1 version, concurrent with the DC0 dependency.
+        checker.record_rot(rot("t", [("x", 4, 1), ("y", 11, 0)]))
+        assert checker.check().ok
+
+    def test_stale_initial_version_is_a_violation(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 7, seq=1))
+        checker.record_put(put("y", 8, seq=2, deps=[("x", 7, 0)]))
+        # Returned the preloaded version of x (timestamp 0, never recorded).
+        checker.record_rot(rot("t", [("x", 0, 0), ("y", 8, 0)]))
+        assert not checker.check().ok
+
+    def test_reads_of_unrecorded_versions_are_ignored(self):
+        checker = CausalConsistencyChecker()
+        checker.record_rot(rot("t", [("x", 0, 0), ("y", 0, 0)]))
+        assert checker.check().ok
+
+    def test_same_dc_timestamp_order_counts_as_causal(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, seq=1, client="w1"))
+        checker.record_put(put("x", 2, seq=1, client="w2", deps=[("x", 1, 0)]))
+        checker.record_put(put("y", 3, seq=2, client="w2", deps=[("x", 2, 0)]))
+        checker.record_rot(rot("t", [("x", 1, 0), ("y", 3, 0)]))
+        assert not checker.check().ok
+
+
+class TestSessionChecking:
+    def test_read_your_writes_violation(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, client="c", seq=1))
+        checker.record_put(put("x", 5, client="c", seq=2, deps=[("x", 1, 0)]))
+        checker.record_rot(rot("t", [("x", 1, 0)], client="c", seq=3))
+        report = checker.check()
+        assert report.session_violations
+
+    def test_monotonic_reads_violation(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, client="w", seq=1))
+        checker.record_put(put("x", 2, client="w", seq=2, deps=[("x", 1, 0)]))
+        checker.record_rot(rot("t1", [("x", 2, 0)], client="c", seq=1))
+        checker.record_rot(rot("t2", [("x", 1, 0)], client="c", seq=2))
+        report = checker.check()
+        assert report.session_violations
+
+    def test_monotonic_reads_allow_progress(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1, client="w", seq=1))
+        checker.record_put(put("x", 2, client="w", seq=2, deps=[("x", 1, 0)]))
+        checker.record_rot(rot("t1", [("x", 1, 0)], client="c", seq=1))
+        checker.record_rot(rot("t2", [("x", 2, 0)], client="c", seq=2))
+        assert checker.check().ok
+
+    def test_missing_value_after_write_is_violation(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 3, client="c", seq=1))
+        checker.record_rot(rot("t", [("x", None, 0)], client="c", seq=2))
+        assert checker.check().session_violations
+
+
+class TestReportAndBookkeeping:
+    def test_counts_recorded_operations(self):
+        checker = CausalConsistencyChecker()
+        checker.record_history(
+            puts=[put("x", 1, seq=1), put("y", 2, seq=2)],
+            rots=[rot("t", [("x", 1, 0)])])
+        assert checker.recorded_puts == 2
+        assert checker.recorded_rots == 1
+        report = checker.check()
+        assert report.puts == 2
+        assert report.rots == 1
+
+    def test_report_ok_flag(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 1))
+        checker.record_rot(rot("t", [("x", 1, 0)]))
+        report = checker.check()
+        assert report.ok
+        report.raise_if_violations()  # should not raise

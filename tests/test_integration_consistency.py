@@ -1,0 +1,106 @@
+"""End-to-end integration tests: full workload runs validated by the checker.
+
+Every protocol is run under the workload generator in both a single-DC and a
+two-DC deployment, with the full history recorded, and the causal-consistency
+checker must find no violation.  A hypothesis-driven variant explores random
+workload mixes and seeds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.harness.runner import run_experiment
+from repro.workload.parameters import WorkloadParameters
+
+PROTOCOLS = ("contrarian", "cure", "cc-lo")
+
+
+def tiny_config(**overrides):
+    defaults = dict(clients_per_dc=5, duration_seconds=0.35, warmup_seconds=0.05,
+                    keys_per_partition=32)
+    defaults.update(overrides)
+    return ClusterConfig.test_scale(**defaults)
+
+
+WRITE_HEAVY = WorkloadParameters(write_ratio=0.3, rot_size=4, value_size=8, skew=0.99)
+
+
+class TestSingleDcConsistency:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_default_workload_history_is_causally_consistent(self, protocol):
+        outcome = run_experiment(protocol, tiny_config(), check_consistency=True)
+        assert outcome.checker_report is not None
+        assert outcome.checker_report.ok
+        assert outcome.result.rots_completed > 0
+        assert outcome.result.puts_completed > 0
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_write_heavy_workload_history_is_causally_consistent(self, protocol):
+        outcome = run_experiment(protocol, tiny_config(), WRITE_HEAVY,
+                                 check_consistency=True)
+        assert outcome.checker_report.ok
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_uniform_popularity_history_is_causally_consistent(self, protocol):
+        workload = WorkloadParameters(write_ratio=0.1, rot_size=2, skew=0.0)
+        outcome = run_experiment(protocol, tiny_config(), workload,
+                                 check_consistency=True)
+        assert outcome.checker_report.ok
+
+
+class TestTwoDcConsistency:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_replicated_history_is_causally_consistent(self, protocol):
+        outcome = run_experiment(protocol,
+                                 tiny_config(num_dcs=2, clients_per_dc=4),
+                                 check_consistency=True)
+        assert outcome.checker_report.ok
+        assert outcome.result.overhead.replication_messages > 0
+
+
+class TestRunMechanics:
+    def test_throughput_grows_with_clients(self):
+        low = run_experiment("contrarian", tiny_config(clients_per_dc=2)).result
+        high = run_experiment("contrarian", tiny_config(clients_per_dc=10)).result
+        assert high.throughput_kops > low.throughput_kops
+
+    def test_results_are_reproducible_for_a_seed(self):
+        a = run_experiment("contrarian", tiny_config(seed=11)).result
+        b = run_experiment("contrarian", tiny_config(seed=11)).result
+        assert a.throughput_kops == b.throughput_kops
+        assert a.rot_latency == b.rot_latency
+
+    def test_different_seeds_give_different_runs(self):
+        a = run_experiment("contrarian", tiny_config(seed=1)).result
+        b = run_experiment("contrarian", tiny_config(seed=2)).result
+        assert a.rots_completed != b.rots_completed or \
+            a.rot_latency != b.rot_latency
+
+    def test_cpu_utilization_is_a_fraction(self):
+        result = run_experiment("contrarian", tiny_config()).result
+        assert 0.0 < result.cpu_utilization <= 1.0
+
+    def test_label_defaults_to_workload_description(self):
+        result = run_experiment("contrarian", tiny_config()).result
+        assert "w=" in result.label
+
+
+class TestPropertyBasedConsistency:
+    @given(protocol=st.sampled_from(PROTOCOLS),
+           write_ratio=st.sampled_from([0.01, 0.1, 0.3]),
+           skew=st.sampled_from([0.0, 0.99]),
+           num_dcs=st.sampled_from([1, 2]),
+           seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_workloads_never_violate_causal_consistency(
+            self, protocol, write_ratio, skew, num_dcs, seed):
+        workload = WorkloadParameters(write_ratio=write_ratio, rot_size=2,
+                                      skew=skew)
+        config = tiny_config(num_dcs=num_dcs, clients_per_dc=3,
+                             duration_seconds=0.25, seed=seed)
+        outcome = run_experiment(protocol, config, workload,
+                                 check_consistency=True)
+        assert outcome.checker_report.ok
