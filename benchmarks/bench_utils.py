@@ -5,11 +5,16 @@ Kept separate from ``conftest.py`` so the helpers can be imported explicitly
 between the root directory and this one).
 """
 
+import os
+
 #: Client counts (per DC) used by the benchmark load sweeps.
 BENCH_SWEEP = (4, 16, 48)
 
 #: Client counts used by the readers-check overhead benchmark (Figure 6).
 BENCH_CLIENT_GROWTH = (4, 8, 16, 32)
+
+#: Directory where benchmarks persist the regenerated series/tables.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -18,18 +23,14 @@ def run_once(benchmark, func, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
-import os
-
-#: Directory where benchmarks persist the regenerated series/tables.
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-
-
 def dump_results(name, text):
     """Persist a regenerated figure/table so it survives output capturing.
 
     Benchmarks print their series, but pytest captures stdout unless ``-s`` is
     given; writing the same text under ``benchmarks/results/`` keeps a copy of
     the regenerated evaluation for EXPERIMENTS.md regardless of capture mode.
+    The ``results/`` directory is not checked in, so it is (re)created before
+    every write.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:

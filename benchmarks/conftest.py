@@ -23,6 +23,19 @@ sys.path.insert(0, os.path.dirname(__file__))
 from repro.cluster.config import ClusterConfig
 
 
+def pytest_collection_modifyitems(items):
+    """Every figure benchmark is ``slow`` by construction.
+
+    Marking them here (rather than per test) keeps the fast-tier selection
+    ``-m "not slow"`` accurate even as new benchmark modules are added.  The
+    hook receives the whole session's items, so restrict to this directory.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_config():
     """The bench-scale configuration shared by every figure benchmark."""

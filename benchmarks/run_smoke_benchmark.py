@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: one short load sweep per protocol, as JSON.
+
+Runs a 3-point client sweep for every implemented protocol through the
+process-pool experiment runner and writes ``BENCH_smoke.json`` containing the
+measured series plus the wall-clock the whole grid took.  CI uploads the file
+as an artifact on every run, so the performance trajectory of the simulator
+(and of the parallel runner itself) is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
+        [--output BENCH_smoke.json] [--workers N]
+
+The configuration is deliberately small (test-scale cluster, short runs):
+the goal is a stable, minutes-not-hours signal, not a full regeneration of
+the paper's figures — the nightly benchmark job does that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.cluster.config import ClusterConfig
+from repro.core.registry import implemented_protocols
+from repro.harness.parallel import resolve_worker_count, run_grid
+
+#: Client counts of the smoke sweep (3 points, well below saturation).
+SMOKE_SWEEP = (2, 4, 8)
+
+
+def smoke_config() -> ClusterConfig:
+    """The fixed small configuration the smoke benchmark always uses."""
+    return ClusterConfig.test_scale(duration_seconds=0.5, warmup_seconds=0.1)
+
+
+def run_smoke(workers: int | None = None) -> dict[str, object]:
+    """Run the smoke grid and return the JSON-ready report."""
+    protocols = implemented_protocols()
+    config = smoke_config()
+    started = time.perf_counter()
+    series = run_grid(protocols, SMOKE_SWEEP, config=config,
+                      label="smoke", max_workers=workers)
+    wall_clock = time.perf_counter() - started
+    return {
+        "benchmark": "smoke",
+        "client_counts": list(SMOKE_SWEEP),
+        "workers": resolve_worker_count(workers),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "wall_clock_seconds": round(wall_clock, 3),
+        "series": {protocol: [result.as_json_dict() for result in results]
+                   for protocol, results in series.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_smoke.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: auto-detect)")
+    args = parser.parse_args(argv)
+
+    # Fail on an unwritable destination *before* spending minutes simulating.
+    output_dir = os.path.dirname(os.path.abspath(args.output))
+    os.makedirs(output_dir, exist_ok=True)
+
+    report = run_smoke(args.workers)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"smoke benchmark: {len(report['series'])} protocols x "
+          f"{len(report['client_counts'])} points in "
+          f"{report['wall_clock_seconds']}s "
+          f"({report['workers']} workers) -> {args.output}")
+    for protocol, rows in sorted(report["series"].items()):
+        peak = max(row["throughput_kops"] for row in rows)
+        print(f"  {protocol:<12} peak {peak:.1f} Kops/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@ Makes the in-tree ``src`` layout importable even when the package has not
 been installed (e.g. on an offline machine where ``pip install -e .`` cannot
 build an editable wheel).  When the package *is* installed, the installed
 copy and this path point at the same files, so the shim is harmless.
+
+Also registers the ``slow`` marker that separates the fast tier (unit tests,
+run on every PR with ``-m "not slow"``, optionally ``-n auto`` under
+pytest-xdist) from the long integration/checker tests and the figure
+benchmarks (run nightly and locally with a plain ``pytest``).
 """
 
 import os
@@ -12,3 +17,10 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running integration/benchmark tests; the CI PR job "
+        "deselects them with -m \"not slow\"")

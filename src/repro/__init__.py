@@ -23,9 +23,23 @@ Quickstart::
     from repro.harness import run_experiment
     outcome = run_experiment("contrarian")
     print(outcome.result.as_row())
+
+Load sweeps (one full simulation per load point) can be fanned out over
+worker processes; the results are bit-identical to the serial sweep::
+
+    from repro import parallel_load_sweep
+    rows = parallel_load_sweep("contrarian", (4, 16, 48), max_workers=4)
 """
 
 from repro.api import CausalStore, OperationResult
+from repro.harness.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    RunSpec,
+    derive_seed,
+    parallel_load_sweep,
+)
+from repro.harness.runner import load_sweep, run_experiment
 from repro.cluster.config import ClusterConfig
 from repro.errors import (
     ConfigurationError,
@@ -49,13 +63,20 @@ __all__ = [
     "ConsistencyViolation",
     "DEFAULT_WORKLOAD",
     "OperationResult",
+    "ParallelExecutionError",
+    "ParallelRunner",
     "ProtocolError",
     "ReproError",
     "RunResult",
+    "RunSpec",
     "SimulationError",
     "StorageError",
     "TheoryError",
     "WorkloadError",
     "WorkloadParameters",
     "__version__",
+    "derive_seed",
+    "load_sweep",
+    "parallel_load_sweep",
+    "run_experiment",
 ]

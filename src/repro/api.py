@@ -8,9 +8,11 @@ Most users interact with the library through three entry points:
   the values the protocol would produce, and the simulated latency of every
   operation is available for inspection.
 * :func:`repro.harness.run_experiment` / :func:`repro.harness.load_sweep` —
-  workload-driven performance runs (what the figures use).
+  workload-driven performance runs (what the figures use) — and their
+  process-pool counterparts :func:`repro.harness.parallel_load_sweep` /
+  :class:`repro.harness.ParallelRunner`, re-exported here for convenience.
 * :mod:`repro.harness.figures` / :mod:`repro.harness.tables` — regenerate the
-  paper's evaluation.
+  paper's evaluation (both now fan their run grids over worker processes).
 
 ``CausalStore`` is meant for correctness-oriented exploration (examples,
 tests, teaching); the harness is meant for performance studies.
@@ -26,6 +28,12 @@ from repro.cluster.config import ClusterConfig
 from repro.core.common.messages import ReadResult
 from repro.errors import ConfigurationError
 from repro.harness.builder import BuiltCluster, build_cluster
+from repro.harness.parallel import (
+    ParallelRunner,
+    RunSpec,
+    parallel_load_sweep,
+)
+from repro.harness.runner import load_sweep, run_experiment
 from repro.workload.parameters import WorkloadParameters
 
 
@@ -190,4 +198,12 @@ class _SyntheticOperation:
         return self.kind == "rot"
 
 
-__all__ = ["CausalStore", "OperationResult"]
+__all__ = [
+    "CausalStore",
+    "OperationResult",
+    "ParallelRunner",
+    "RunSpec",
+    "load_sweep",
+    "parallel_load_sweep",
+    "run_experiment",
+]

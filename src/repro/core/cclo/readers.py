@@ -17,18 +17,30 @@ flight at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 
-@dataclass(frozen=True)
 class ReaderEntry:
-    """One recorded read: who read, when (logical time), and for which client."""
+    """One recorded read: who read, when (logical time), and for which client.
 
-    rot_id: str
-    client_id: str
-    logical_time: int
-    recorded_at: float
+    A slotted class rather than a dataclass: entries are created on every
+    read and scanned in bulk by every readers check, which makes their
+    construction and attribute loads one of the hottest paths of the CC-LO
+    simulation (the cost the paper's Theorem 1 is about).
+    """
+
+    __slots__ = ("rot_id", "client_id", "logical_time", "recorded_at")
+
+    def __init__(self, rot_id: str, client_id: str, logical_time: int,
+                 recorded_at: float) -> None:
+        self.rot_id = rot_id
+        self.client_id = client_id
+        self.logical_time = logical_time
+        self.recorded_at = recorded_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ReaderEntry({self.rot_id!r}, {self.client_id!r}, "
+                f"t={self.logical_time}, at={self.recorded_at:.6f})")
 
 
 class ReaderRecords:
@@ -74,10 +86,8 @@ class ReaderRecords:
             return 0
         bucket = self._old.setdefault(key, {})
         for rot_id, entry in readers.items():
-            bucket[rot_id] = ReaderEntry(rot_id=entry.rot_id,
-                                         client_id=entry.client_id,
-                                         logical_time=entry.logical_time,
-                                         recorded_at=now)
+            bucket[rot_id] = ReaderEntry(entry.rot_id, entry.client_id,
+                                         entry.logical_time, now)
         return len(readers)
 
     # --------------------------------------------------------------- queries
@@ -121,17 +131,21 @@ class ReaderRecords:
         several keys.
         """
         combined: dict[str, ReaderEntry] = {}
+        combined_get = combined.get
+        gc_window = self._gc_window
+        one_id_per_client = self._one_id_per_client
+        old = self._old
         for key in keys:
-            bucket = self._old.get(key)
+            bucket = old.get(key)
             if not bucket:
                 continue
             expired: list[str] = []
             for rot_id, entry in bucket.items():
-                if now - entry.recorded_at > self._gc_window:
+                if now - entry.recorded_at > gc_window:
                     expired.append(rot_id)
                     continue
-                group_key = entry.client_id if self._one_id_per_client else entry.rot_id
-                best = combined.get(group_key)
+                group_key = entry.client_id if one_id_per_client else entry.rot_id
+                best = combined_get(group_key)
                 if best is None or entry.logical_time > best.logical_time:
                     combined[group_key] = entry
             for rot_id in expired:

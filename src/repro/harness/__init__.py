@@ -1,6 +1,52 @@
-"""Experiment harness: cluster building, runs, load sweeps, figures, tables."""
+"""Experiment harness: cluster building, runs, load sweeps, figures, tables.
+
+Serial entry points
+-------------------
+:func:`run_experiment` performs one simulated run; :func:`load_sweep` traces
+one throughput-versus-latency curve by rerunning the simulation once per
+client count.  Both are unchanged and remain the reference implementations.
+
+Parallel experiment runner
+--------------------------
+Sweep points are independent simulations, so :mod:`repro.harness.parallel`
+fans them out over a process pool.  The short version:
+
+>>> from repro.harness import parallel_load_sweep
+>>> results = parallel_load_sweep("contrarian", (4, 16, 48), max_workers=4)
+
+* ``parallel_load_sweep(...)`` is a drop-in replacement for
+  ``load_sweep(...)``: same arguments, same ordering, and — because every
+  run's randomness comes from the explicit per-spec configuration seed —
+  bit-identical ``RunResult`` rows for identical seeds, at a fraction of the
+  wall-clock on a multi-core machine.
+* ``ParallelRunner(max_workers=...).run(specs)`` executes an arbitrary grid
+  of picklable :class:`~repro.harness.parallel.RunSpec` objects and collects
+  results in spec order; worker failures surface as
+  :class:`~repro.harness.parallel.ParallelExecutionError` with the worker's
+  traceback attached.
+* ``run_grid([...protocols...], client_counts, seeds=...)`` fans a whole
+  (protocol x load x seed) grid into one pool;
+  :func:`~repro.harness.parallel.derive_seed` derives stable per-cell seeds.
+* Worker count: explicit argument > ``REPRO_PARALLEL_WORKERS`` environment
+  variable > ``os.cpu_count()``.  One worker means serial in-process
+  execution, so the parallel entry points are safe on any machine.
+
+The figure generators (:mod:`repro.harness.figures`) and the measured rows of
+Table 2 (:func:`repro.harness.tables.measure_characterization`) route their
+grids through this runner; CI's smoke benchmark
+(``benchmarks/run_smoke_benchmark.py``) tracks its wall-clock from PR to PR.
+"""
 
 from repro.harness.builder import BuiltCluster, build_cluster
+from repro.harness.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    RunSpec,
+    derive_seed,
+    parallel_load_sweep,
+    run_grid,
+    sweep_specs,
+)
 from repro.harness.runner import ExperimentOutcome, load_sweep, run_experiment
 from repro.harness.figures import (
     FigureResult,
@@ -12,13 +58,21 @@ from repro.harness.figures import (
     figure9_rot_size,
     section58_value_size,
 )
-from repro.harness.tables import table1_workloads, table2_characterization
+from repro.harness.tables import (
+    measure_characterization,
+    table1_workloads,
+    table2_characterization,
+)
 
 __all__ = [
     "BuiltCluster",
     "ExperimentOutcome",
     "FigureResult",
+    "ParallelExecutionError",
+    "ParallelRunner",
+    "RunSpec",
     "build_cluster",
+    "derive_seed",
     "figure4_contrarian_vs_cure",
     "figure5_default_workload",
     "figure6_readers_check_overhead",
@@ -26,8 +80,12 @@ __all__ = [
     "figure8_skew",
     "figure9_rot_size",
     "load_sweep",
+    "measure_characterization",
+    "parallel_load_sweep",
     "run_experiment",
+    "run_grid",
     "section58_value_size",
+    "sweep_specs",
     "table1_workloads",
     "table2_characterization",
 ]

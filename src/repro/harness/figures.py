@@ -10,6 +10,14 @@ runs); every function accepts an explicit :class:`ClusterConfig` to run at a
 larger scale.  Figure 9 defaults to ROT sizes ``(2, 4, 8)`` because the
 bench-scale cluster has 8 partitions; pass a 24+-partition configuration and
 ``rot_sizes=(4, 8, 24)`` to match the paper exactly.
+
+Every figure runs its complete (series x load point) grid through the
+process-pool runner of :mod:`repro.harness.parallel`: the grid is flattened
+into one spec list, executed over however many workers
+:func:`~repro.harness.parallel.resolve_worker_count` grants (pass
+``max_workers`` to pin it; one worker reproduces the old serial behaviour),
+and regrouped per series.  Results are bit-identical to the serial sweeps
+because the specs carry exactly the same configurations and seeds.
 """
 
 from __future__ import annotations
@@ -18,13 +26,34 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
+from repro.harness.parallel import ParallelRunner, RunSpec, sweep_specs
 from repro.harness.report import format_series, format_table
-from repro.harness.runner import load_sweep, run_experiment
+from repro.harness.runner import run_experiment
 from repro.metrics.collectors import RunResult
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
 #: Default client-per-DC counts of a load sweep at bench scale.
 DEFAULT_CLIENT_SWEEP: tuple[int, ...] = (4, 12, 32, 64)
+
+
+def _run_series(series_specs: dict[str, list[RunSpec]],
+                max_workers: Optional[int] = None) -> dict[str, list[RunResult]]:
+    """Execute every series of a figure in one process-pool invocation.
+
+    Flattening the whole figure into a single pool keeps workers busy across
+    series boundaries (protocols differ a lot in cost), then the ordered
+    results are sliced back into their series.
+    """
+    flat: list[RunSpec] = []
+    for specs in series_specs.values():
+        flat.extend(specs)
+    results = ParallelRunner(max_workers=max_workers).run(flat)
+    grouped: dict[str, list[RunResult]] = {}
+    offset = 0
+    for name, specs in series_specs.items():
+        grouped[name] = results[offset:offset + len(specs)]
+        offset += len(specs)
+    return grouped
 
 
 @dataclass
@@ -61,18 +90,19 @@ def _base_config(config: Optional[ClusterConfig], num_dcs: int) -> ClusterConfig
 def figure4_contrarian_vs_cure(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         config: Optional[ClusterConfig] = None,
-        workload: WorkloadParameters = DEFAULT_WORKLOAD) -> FigureResult:
+        workload: WorkloadParameters = DEFAULT_WORKLOAD,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Throughput vs average ROT latency for Contrarian variants and Cure."""
     base = _base_config(config, num_dcs=2)
-    series = {
-        "contrarian-1.5-rounds": load_sweep(
+    series = _run_series({
+        "contrarian-1.5-rounds": sweep_specs(
             "contrarian", client_counts, base.with_changes(rot_rounds=1.5),
             workload, label="fig4"),
-        "contrarian-2-rounds": load_sweep(
+        "contrarian-2-rounds": sweep_specs(
             "contrarian", client_counts, base.with_changes(rot_rounds=2.0),
             workload, label="fig4"),
-        "cure": load_sweep("cure", client_counts, base, workload, label="fig4"),
-    }
+        "cure": sweep_specs("cure", client_counts, base, workload, label="fig4"),
+    }, max_workers)
     return FigureResult(
         name="Figure 4",
         caption=("Contrarian vs Cure, default workload, 2 DCs: nonblocking "
@@ -87,15 +117,17 @@ def figure4_contrarian_vs_cure(
 def figure5_default_workload(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         config: Optional[ClusterConfig] = None,
-        workload: WorkloadParameters = DEFAULT_WORKLOAD) -> FigureResult:
+        workload: WorkloadParameters = DEFAULT_WORKLOAD,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Average and tail ROT latency vs throughput for Contrarian and CC-LO."""
-    series: dict[str, list[RunResult]] = {}
+    specs: dict[str, list[RunSpec]] = {}
     for num_dcs in (1, 2):
         base = _base_config(config, num_dcs=num_dcs)
-        series[f"contrarian-{num_dcs}dc"] = load_sweep(
+        specs[f"contrarian-{num_dcs}dc"] = sweep_specs(
             "contrarian", client_counts, base, workload, label="fig5")
-        series[f"cc-lo-{num_dcs}dc"] = load_sweep(
+        specs[f"cc-lo-{num_dcs}dc"] = sweep_specs(
             "cc-lo", client_counts, base, workload, label="fig5")
+    series = _run_series(specs, max_workers)
     return FigureResult(
         name="Figure 5",
         caption=("Contrarian vs CC-LO, default workload: CC-LO is ahead only "
@@ -110,10 +142,13 @@ def figure5_default_workload(
 def figure6_readers_check_overhead(
         client_counts: Sequence[int] = (8, 16, 32, 64),
         config: Optional[ClusterConfig] = None,
-        workload: WorkloadParameters = DEFAULT_WORKLOAD) -> FigureResult:
+        workload: WorkloadParameters = DEFAULT_WORKLOAD,
+        max_workers: Optional[int] = None) -> FigureResult:
     """ROT ids collected per readers check as a function of client count."""
     base = _base_config(config, num_dcs=1)
-    results = load_sweep("cc-lo", client_counts, base, workload, label="fig6")
+    results = _run_series({"cc-lo": sweep_specs(
+        "cc-lo", client_counts, base, workload, label="fig6")},
+        max_workers)["cc-lo"]
     extra_rows = []
     for result in results:
         extra_rows.append({
@@ -141,16 +176,18 @@ def figure7_write_intensity(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         write_ratios: Sequence[float] = (0.01, 0.05, 0.1),
         num_dcs: int = 1,
-        config: Optional[ClusterConfig] = None) -> FigureResult:
+        config: Optional[ClusterConfig] = None,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Contrarian vs CC-LO while varying the write intensity."""
     base = _base_config(config, num_dcs=num_dcs)
-    series: dict[str, list[RunResult]] = {}
+    specs: dict[str, list[RunSpec]] = {}
     for write_ratio in write_ratios:
         workload = DEFAULT_WORKLOAD.with_changes(write_ratio=write_ratio)
-        series[f"contrarian-w{write_ratio}"] = load_sweep(
+        specs[f"contrarian-w{write_ratio}"] = sweep_specs(
             "contrarian", client_counts, base, workload, label="fig7")
-        series[f"cc-lo-w{write_ratio}"] = load_sweep(
+        specs[f"cc-lo-w{write_ratio}"] = sweep_specs(
             "cc-lo", client_counts, base, workload, label="fig7")
+    series = _run_series(specs, max_workers)
     return FigureResult(
         name="Figure 7",
         caption=(f"Effect of write intensity ({num_dcs} DC): higher w hurts "
@@ -165,16 +202,18 @@ def figure7_write_intensity(
 def figure8_skew(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         skews: Sequence[float] = (0.0, 0.8, 0.99),
-        config: Optional[ClusterConfig] = None) -> FigureResult:
+        config: Optional[ClusterConfig] = None,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Contrarian vs CC-LO while varying the zipfian skew (single DC)."""
     base = _base_config(config, num_dcs=1)
-    series: dict[str, list[RunResult]] = {}
+    specs: dict[str, list[RunSpec]] = {}
     for skew in skews:
         workload = DEFAULT_WORKLOAD.with_changes(skew=skew)
-        series[f"contrarian-z{skew}"] = load_sweep(
+        specs[f"contrarian-z{skew}"] = sweep_specs(
             "contrarian", client_counts, base, workload, label="fig8")
-        series[f"cc-lo-z{skew}"] = load_sweep(
+        specs[f"cc-lo-z{skew}"] = sweep_specs(
             "cc-lo", client_counts, base, workload, label="fig8")
+    series = _run_series(specs, max_workers)
     return FigureResult(
         name="Figure 8",
         caption=("Effect of data-popularity skew (1 DC): skew barely affects "
@@ -189,16 +228,18 @@ def figure8_skew(
 def figure9_rot_size(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         rot_sizes: Sequence[int] = (2, 4, 8),
-        config: Optional[ClusterConfig] = None) -> FigureResult:
+        config: Optional[ClusterConfig] = None,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Contrarian vs CC-LO while varying the ROT size p (single DC)."""
     base = _base_config(config, num_dcs=1)
-    series: dict[str, list[RunResult]] = {}
+    specs: dict[str, list[RunSpec]] = {}
     for rot_size in rot_sizes:
         workload = DEFAULT_WORKLOAD.with_changes(rot_size=rot_size)
-        series[f"contrarian-p{rot_size}"] = load_sweep(
+        specs[f"contrarian-p{rot_size}"] = sweep_specs(
             "contrarian", client_counts, base, workload, label="fig9")
-        series[f"cc-lo-p{rot_size}"] = load_sweep(
+        specs[f"cc-lo-p{rot_size}"] = sweep_specs(
             "cc-lo", client_counts, base, workload, label="fig9")
+    series = _run_series(specs, max_workers)
     return FigureResult(
         name="Figure 9",
         caption=("Effect of ROT size (1 DC): CC-LO's low-load latency edge "
@@ -213,16 +254,18 @@ def figure9_rot_size(
 def section58_value_size(
         client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
         value_sizes: Sequence[int] = (8, 128, 2048),
-        config: Optional[ClusterConfig] = None) -> FigureResult:
+        config: Optional[ClusterConfig] = None,
+        max_workers: Optional[int] = None) -> FigureResult:
     """Contrarian vs CC-LO while varying the value size (single DC)."""
     base = _base_config(config, num_dcs=1)
-    series: dict[str, list[RunResult]] = {}
+    specs: dict[str, list[RunSpec]] = {}
     for value_size in value_sizes:
         workload = DEFAULT_WORKLOAD.with_changes(value_size=value_size)
-        series[f"contrarian-b{value_size}"] = load_sweep(
+        specs[f"contrarian-b{value_size}"] = sweep_specs(
             "contrarian", client_counts, base, workload, label="sec5.8")
-        series[f"cc-lo-b{value_size}"] = load_sweep(
+        specs[f"cc-lo-b{value_size}"] = sweep_specs(
             "cc-lo", client_counts, base, workload, label="sec5.8")
+    series = _run_series(specs, max_workers)
     return FigureResult(
         name="Section 5.8",
         caption=("Effect of value size (1 DC): larger values add CPU and "

@@ -8,17 +8,24 @@
   overhead actually observed in simulation (messages per PUT, ROT ids per
   readers check), which is the experimental counterpart of the ``O(N)`` /
   ``O(K)`` entries of the paper's table.
+
+:func:`measure_characterization` produces those measured rows by running one
+load point per implemented protocol through the process-pool runner of
+:mod:`repro.harness.parallel`, so regenerating the full measured table costs
+one (parallel) round of simulations.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.cluster.config import ClusterConfig
 from repro.core.registry import (
     implemented_protocols,
     protocol_properties,
     surveyed_properties,
 )
+from repro.harness.parallel import ParallelRunner, RunSpec
 from repro.harness.report import format_table
 from repro.metrics.collectors import RunResult
 from repro.workload.parameters import (
@@ -27,6 +34,7 @@ from repro.workload.parameters import (
     SKEWS,
     VALUE_SIZES,
     WRITE_RATIOS,
+    WorkloadParameters,
 )
 
 
@@ -47,6 +55,28 @@ def table1_workloads() -> str:
          mark(SKEWS, DEFAULT_WORKLOAD.skew)],
     ]
     return format_table(["Parameter", "Definition", "Values (default *)"], rows)
+
+
+def measure_characterization(
+        protocols: Optional[Sequence[str]] = None,
+        clients: int = 32,
+        config: Optional[ClusterConfig] = None,
+        workload: Optional[WorkloadParameters] = None, *,
+        max_workers: Optional[int] = None) -> dict[str, RunResult]:
+    """Measure one load point per protocol for Table 2's measured columns.
+
+    The runs are independent, so they are fanned out over the process-pool
+    runner; the mapping is keyed by protocol name in registry order and can
+    be passed straight to :func:`table2_characterization`.
+    """
+    protocols = list(protocols) if protocols is not None else implemented_protocols()
+    base = (config or ClusterConfig.bench_scale()).with_changes(
+        clients_per_dc=clients)
+    specs = [RunSpec(protocol=name, config=base,
+                     workload=workload or DEFAULT_WORKLOAD, label="table2")
+             for name in protocols]
+    results = ParallelRunner(max_workers=max_workers).run(specs)
+    return dict(zip(protocols, results))
 
 
 def table2_characterization(
@@ -104,4 +134,5 @@ def _static_row(properties) -> list[object]:
     ]
 
 
-__all__ = ["table1_workloads", "table2_characterization"]
+__all__ = ["measure_characterization", "table1_workloads",
+           "table2_characterization"]

@@ -9,7 +9,7 @@ row format used by the figure/table harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.metrics.latency import LatencyRecorder, LatencySummary
@@ -50,6 +50,32 @@ class RunResult:
     def put_mean_ms(self) -> float:
         """Average PUT latency in milliseconds (Section 5.2 aside)."""
         return self.put_latency.mean_ms
+
+    def as_json_dict(self) -> dict[str, object]:
+        """Serialise into plain JSON-compatible types.
+
+        Used by the CI smoke benchmark (``BENCH_smoke.json``) and any other
+        consumer that persists result rows across processes or runs.  The
+        bulky per-check sample lists of the overhead counters are summarised
+        rather than dumped.
+        """
+        overhead = asdict(self.overhead)
+        for samples in ("per_check_distinct", "per_check_cumulative",
+                        "per_check_partitions"):
+            overhead.pop(samples, None)
+        return {
+            "protocol": self.protocol,
+            "num_dcs": self.num_dcs,
+            "clients": self.clients,
+            "throughput_kops": self.throughput_kops,
+            "rot_latency": asdict(self.rot_latency),
+            "put_latency": asdict(self.put_latency),
+            "rots_completed": self.rots_completed,
+            "puts_completed": self.puts_completed,
+            "overhead": overhead,
+            "cpu_utilization": self.cpu_utilization,
+            "label": self.label,
+        }
 
     def as_row(self) -> dict[str, object]:
         """Flatten into a dictionary suitable for tabular reports."""

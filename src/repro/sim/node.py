@@ -62,6 +62,7 @@ class Node:
         self.stats = ProcessingStats()
         self._queue: Deque[Tuple[object, object, float]] = deque()
         self._busy = False
+        self._serving: Optional[Tuple[object, object]] = None
 
     # ------------------------------------------------------------------ queue
     def enqueue_message(self, sender: "Node", message: object) -> None:
@@ -78,15 +79,20 @@ class Node:
             return
         self._busy = True
         sender, message, enqueued_at = self._queue.popleft()
-        wait = self.sim.now - enqueued_at
-        self.stats.total_queue_wait += wait
+        stats = self.stats
+        stats.total_queue_wait += self.sim.now - enqueued_at
         service = self.service_time(message) / self.threads
-        self.stats.busy_time += service
-        self.sim.schedule(service,
-                          lambda: self._complete(sender, message),
-                          label=f"serve:{type(message).__name__}")
+        stats.busy_time += service
+        # One message is in service at a time (the busy flag serialises the
+        # CPU), so the in-flight pair can live on the node instead of in a
+        # per-message closure — this loop runs once per simulated message.
+        self._serving = (sender, message)
+        self.sim.schedule(service, self._complete_serving,
+                          label=type(message).__name__)
 
-    def _complete(self, sender: "Node", message: object) -> None:
+    def _complete_serving(self) -> None:
+        sender, message = self._serving  # type: ignore[misc]
+        self._serving = None
         self.stats.messages_processed += 1
         self.handle_message(sender, message)
         self._serve_next()

@@ -10,8 +10,39 @@ sampling after a one-off O(n) computation of the generalised harmonic number.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
+from functools import lru_cache
 
 from repro.errors import WorkloadError
+
+
+@lru_cache(maxsize=256)
+def _cached_zeta(n: int, theta: float) -> float:
+    """Generalised harmonic number ``sum_{i=1..n} 1/i^theta``.
+
+    Every client of a run builds its own sampler over the same
+    ``(keys_per_partition, skew)`` point, and a load sweep repeats that for
+    every point, so the O(n) zeta computation used to dominate cluster
+    construction.  The cache is keyed on the exact ``(n, theta)`` pair and
+    shared across samplers, runs and worker processes' lifetimes.
+    """
+    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+
+@lru_cache(maxsize=64)
+def _harmonic_cdf(n: int) -> tuple[float, ...]:
+    """Cumulative harmonic sums ``H_1..H_n`` for the ``theta == 1`` skew.
+
+    Sampling for the harmonic case inverts the CDF; precomputing the
+    cumulative sums once per ``n`` turns every draw from an O(n) linear scan
+    into an O(log n) bisect.
+    """
+    sums = []
+    cumulative = 0.0
+    for index in range(n):
+        cumulative += 1.0 / (index + 1)
+        sums.append(cumulative)
+    return tuple(sums)
 
 
 class ZipfianSampler:
@@ -34,6 +65,7 @@ class ZipfianSampler:
             self._theta = skew
             self._alpha = 1.0 / (1.0 - skew) if skew != 1.0 else float("inf")
             self._zeta2 = self._zeta(2, skew)
+            self._cdf = _harmonic_cdf(num_items) if skew == 1.0 else ()
             if skew == 1.0 or num_items <= 2:
                 # The eta shortcut degenerates for two items (zeta2 == zetan)
                 # and for skew exactly 1; those cases use inverse-CDF sampling.
@@ -44,8 +76,8 @@ class ZipfianSampler:
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
-        """Generalised harmonic number ``sum_{i=1..n} 1/i^theta``."""
-        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        """Generalised harmonic number (cached module-wide, see above)."""
+        return _cached_zeta(n, theta)
 
     @property
     def num_items(self) -> int:
@@ -66,15 +98,11 @@ class ZipfianSampler:
         if uz < 1.0 + 0.5 ** self._theta:
             return 1
         if self._theta == 1.0:
-            # Harmonic case: fall back to inverse-CDF by linear search over a
-            # logarithmic approximation; exact enough for popularity skew.
-            target = u * self._zetan
-            cumulative = 0.0
-            for index in range(self._num_items):
-                cumulative += 1.0 / (index + 1)
-                if cumulative >= target:
-                    return index
-            return self._num_items - 1
+            # Harmonic case: invert the precomputed CDF with a bisect.  The
+            # old linear scan gave the first index with H_{i+1} >= target;
+            # bisect_left on the same cumulative sums returns it in O(log n).
+            index = bisect_left(self._cdf, u * self._zetan)
+            return min(index, self._num_items - 1)
         value = int(self._num_items
                     * (self._eta * u - self._eta + 1.0) ** self._alpha)
         return min(max(value, 0), self._num_items - 1)

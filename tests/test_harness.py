@@ -119,8 +119,11 @@ class TestFiguresAndTables:
         assert "clients" in text
 
     def test_figure6_reports_readers_check_growth(self):
+        # max_workers=1 keeps this unit test in-process; the pool path is
+        # covered by tests/test_harness_parallel.py.
         figure = figure6_readers_check_overhead(client_counts=(2, 4),
-                                                config=tiny_config())
+                                                config=tiny_config(),
+                                                max_workers=1)
         assert len(figure.extra_rows) == 2
         assert figure.extra_rows[0]["clients"] < figure.extra_rows[1]["clients"]
         assert all(row["readers_checks"] > 0 for row in figure.extra_rows)
@@ -143,6 +146,7 @@ class TestFiguresAndTables:
 
 
 class TestReplicationAccounting:
+    @pytest.mark.slow
     def test_summary_aggregates_counters(self):
         outcome = run_experiment("cc-lo", tiny_config(num_dcs=2, clients_per_dc=3))
         servers = outcome.cluster.topology.all_servers()

@@ -14,6 +14,11 @@ from repro.cluster.config import ClusterConfig
 from repro.harness.runner import run_experiment
 from repro.workload.parameters import WorkloadParameters
 
+#: Full-history runs with the checker enabled are the long tier of the test
+#: suite; CI's PR job skips them via ``-m "not slow"`` and the nightly job
+#: (plus any plain local ``pytest``) still runs them.
+pytestmark = pytest.mark.slow
+
 PROTOCOLS = ("contrarian", "cure", "cc-lo")
 
 

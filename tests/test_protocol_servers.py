@@ -109,6 +109,7 @@ class TestCcloServerMechanics:
         outcome = run_experiment("cc-lo", tiny_config())
         assert outcome.result.overhead.blocked_reads == 0
 
+    @pytest.mark.slow
     def test_put_latency_exceeds_vector_protocol_put_latency(self):
         cclo = run_experiment("cc-lo", tiny_config()).result
         contrarian = run_experiment("contrarian", tiny_config()).result
@@ -130,12 +131,14 @@ class TestCcloServerMechanics:
         server = store.cluster.topology.server_for_key(0, "0:0")
         assert server.readers.old_reader_count("0:0") >= 1
 
+    @pytest.mark.slow
     def test_replicated_updates_carry_dependencies(self):
         outcome = run_experiment("cc-lo", tiny_config(num_dcs=2, clients_per_dc=3))
         overhead = outcome.result.overhead
         assert overhead.replication_messages > 0
         assert overhead.dependency_entries_sent > 0
 
+    @pytest.mark.slow
     def test_remote_readers_check_runs_in_both_dcs(self):
         single = run_experiment("cc-lo", tiny_config()).result
         double = run_experiment("cc-lo", tiny_config(num_dcs=2, clients_per_dc=4)).result
@@ -148,6 +151,7 @@ class TestCcloServerMechanics:
         with pytest.raises(ProtocolError):
             server.handle_message(server, object())
 
+    @pytest.mark.slow
     def test_gc_window_configuration_is_respected(self):
         fast_gc = run_experiment(
             "cc-lo", tiny_config(cclo_gc_window_ms=20.0)).result
