@@ -1,20 +1,26 @@
 #!/usr/bin/env python
 """CI smoke benchmark: one short load sweep per protocol, as JSON.
 
-Runs a 3-point client sweep for every implemented protocol through the
-process-pool experiment runner and writes ``BENCH_smoke.json`` containing the
-measured series plus the wall-clock the whole grid took.  CI uploads the file
-as an artifact on every run, so the performance trajectory of the simulator
-(and of the parallel runner itself) is tracked from PR to PR.
+Runs a client sweep for the selected protocols through the process-pool
+experiment runner and writes ``BENCH_smoke.json`` containing the measured
+series plus the wall-clock the whole grid took.  CI uploads the file as an
+artifact on every run, so the performance trajectory of the simulator (and of
+the parallel runner itself) is tracked from PR to PR.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
-        [--output BENCH_smoke.json] [--workers N]
+        [--output BENCH_smoke.json] [--workers N] \
+        [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
 
-The configuration is deliberately small (test-scale cluster, short runs):
-the goal is a stable, minutes-not-hours signal, not a full regeneration of
-the paper's figures — the nightly benchmark job does that.
+``--protocols`` / ``--clients`` point the run at any grid cell instead of the
+default full-protocol 3-point sweep; ``--scenario`` executes a canned fault
+scenario (see ``repro.faults.library``) inside every run, in which case the
+JSON rows carry per-phase slices.
+
+The default configuration is deliberately small (test-scale cluster, short
+runs): the goal is a stable, minutes-not-hours signal, not a full
+regeneration of the paper's figures — the nightly benchmark job does that.
 """
 
 from __future__ import annotations
@@ -30,28 +36,43 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.cluster.config import ClusterConfig
 from repro.core.registry import implemented_protocols
+from repro.faults.library import SCENARIOS, get_scenario
 from repro.harness.parallel import resolve_worker_count, run_grid
 
 #: Client counts of the smoke sweep (3 points, well below saturation).
 SMOKE_SWEEP = (2, 4, 8)
 
 
-def smoke_config() -> ClusterConfig:
-    """The fixed small configuration the smoke benchmark always uses."""
+def smoke_config(scenario_name: str = "none") -> ClusterConfig:
+    """The fixed small configuration the smoke benchmark always uses.
+
+    Fault scenarios need a second DC (partitions) and a longer run so the
+    before/during/after phases all get a measurement window.
+    """
+    if scenario_name not in ("", "none"):
+        return ClusterConfig.test_scale(num_dcs=2, duration_seconds=2.4,
+                                        warmup_seconds=0.2)
     return ClusterConfig.test_scale(duration_seconds=0.5, warmup_seconds=0.1)
 
 
-def run_smoke(workers: int | None = None) -> dict[str, object]:
+def run_smoke(workers: int | None = None,
+              protocols: list[str] | None = None,
+              clients: list[int] | None = None,
+              scenario_name: str = "none") -> dict[str, object]:
     """Run the smoke grid and return the JSON-ready report."""
-    protocols = implemented_protocols()
-    config = smoke_config()
+    protocols = list(protocols or implemented_protocols())
+    clients = list(clients or SMOKE_SWEEP)
+    scenario = get_scenario(scenario_name)
+    config = smoke_config(scenario_name)
     started = time.perf_counter()
-    series = run_grid(protocols, SMOKE_SWEEP, config=config,
+    series = run_grid(protocols, clients, config=config,
+                      scenario=None if scenario.is_empty else scenario,
                       label="smoke", max_workers=workers)
     wall_clock = time.perf_counter() - started
     return {
         "benchmark": "smoke",
-        "client_counts": list(SMOKE_SWEEP),
+        "client_counts": clients,
+        "scenario": scenario_name if not scenario.is_empty else "none",
         "workers": resolve_worker_count(workers),
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -67,19 +88,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="path of the JSON report (default: %(default)s)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default: auto-detect)")
+    parser.add_argument("--protocols", nargs="+", default=None,
+                        metavar="PROTOCOL",
+                        choices=implemented_protocols(),
+                        help="protocols to sweep (default: all implemented)")
+    parser.add_argument("--clients", nargs="+", type=int, default=None,
+                        metavar="N",
+                        help="clients-per-DC load points (default: %s)"
+                             % (SMOKE_SWEEP,))
+    parser.add_argument("--scenario", default="none",
+                        choices=["none", *sorted(SCENARIOS)],
+                        help="canned fault scenario to run inside every "
+                             "simulation (default: none)")
     args = parser.parse_args(argv)
 
     # Fail on an unwritable destination *before* spending minutes simulating.
     output_dir = os.path.dirname(os.path.abspath(args.output))
     os.makedirs(output_dir, exist_ok=True)
 
-    report = run_smoke(args.workers)
+    report = run_smoke(args.workers, args.protocols, args.clients,
+                       args.scenario)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     print(f"smoke benchmark: {len(report['series'])} protocols x "
-          f"{len(report['client_counts'])} points in "
+          f"{len(report['client_counts'])} points "
+          f"(scenario: {report['scenario']}) in "
           f"{report['wall_clock_seconds']}s "
           f"({report['workers']} workers) -> {args.output}")
     for protocol, rows in sorted(report["series"].items()):

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Partition tolerance: what a DC partition costs each protocol.
+
+The paper evaluates Contrarian, Cure and CC-LO on a healthy, static cluster.
+This example stresses the same three designs with a scripted fault scenario:
+two data centers run the default workload, DC 1 is partitioned away mid-run,
+and the partition heals a while later.  The run's metrics are sliced into
+before/during/after phases, and the causal-consistency checker verifies the
+recorded history — causal consistency is an *always* property: partitions
+may delay remote visibility (the AP side of the design space), but no client
+may ever observe a causally inconsistent snapshot.
+
+What to look for in the output:
+
+* **Throughput barely moves during the partition** for Contrarian — clients
+  only talk to their own DC, and nonblocking ROTs just serve older remote
+  entries from the frozen Global Stable Snapshot.  CC-LO actually *speeds
+  up* while partitioned (no remote readers-check traffic to serve) and pays
+  for it with a visible dip while the backlog drains after the heal.
+* **Visibility lag** (how far behind a server's view of the remote DC is)
+  climbs linearly through the partition — the liveness cost of the fault —
+  and collapses back once held replication traffic is flushed.
+* **Zero consistency violations** for every protocol, before, during and
+  after the fault.
+
+Run with::
+
+    python examples/partition_tolerance.py
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.faults import Scenario
+from repro.harness import run_experiment
+from repro.harness.report import format_table
+
+#: Two DCs, long enough for three ~0.7s phases.
+CONFIG = ClusterConfig.test_scale(num_dcs=2, clients_per_dc=6,
+                                  duration_seconds=2.1, warmup_seconds=0.2)
+
+#: Partition DC 1 away at t=0.7s, heal at t=1.4s.
+SCENARIO = (Scenario.at(0.7).partition_dc(1)
+                    .at(1.4).heal()
+                    .named("dc1-partition"))
+
+
+def main() -> None:
+    print(SCENARIO.describe())
+    rows = []
+    for protocol in ("contrarian", "cure", "cc-lo"):
+        outcome = run_experiment(protocol, CONFIG, scenario=SCENARIO,
+                                 check_consistency=True)
+        report = outcome.checker_report
+        assert report is not None and report.ok
+        print(f"\n{protocol}: {report.puts} PUTs + {report.rots} ROTs "
+              "checked, zero causal violations")
+        for phase in outcome.result.phases:
+            rows.append([
+                protocol, phase.name,
+                f"{phase.throughput_kops:.1f}",
+                f"{phase.rot_latency.mean_ms:.3f}",
+                f"{phase.rot_latency.p99_ms:.3f}",
+                f"{phase.gauges.get('visibility_lag_ms_max', 0.0):.0f}",
+                f"{phase.gauges.get('held_messages_max', 0.0):.0f}",
+            ])
+    print()
+    print(format_table(
+        ["protocol", "phase", "Kops/s", "ROT avg (ms)", "ROT p99 (ms)",
+         "max visibility lag (ms)", "max held msgs"], rows))
+    print("\nCausal consistency held through the partition for every design;"
+          "\nonly remote-update visibility degraded — and recovered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,20 @@ worker processes; the results are bit-identical to the serial sweep::
 
     from repro import parallel_load_sweep
     rows = parallel_load_sweep("contrarian", (4, 16, 48), max_workers=4)
+
+Runs can execute deterministic fault scenarios (partitions, degraded links,
+slow nodes, load spikes) with per-phase metrics and consistency checking::
+
+    from repro import ClusterConfig, Scenario, run_experiment
+    config = ClusterConfig.test_scale(num_dcs=2, duration_seconds=2.4,
+                                      warmup_seconds=0.2)
+    scenario = Scenario.at(0.8).partition_dc(1).at(1.6).heal()
+    outcome = run_experiment("contrarian", config, scenario=scenario,
+                             check_consistency=True)
 """
 
 from repro.api import CausalStore, OperationResult
+from repro.faults import FaultController, FaultEvent, Scenario, get_scenario
 from repro.harness.parallel import (
     ParallelExecutionError,
     ParallelRunner,
@@ -62,6 +73,8 @@ __all__ = [
     "ConfigurationError",
     "ConsistencyViolation",
     "DEFAULT_WORKLOAD",
+    "FaultController",
+    "FaultEvent",
     "OperationResult",
     "ParallelExecutionError",
     "ParallelRunner",
@@ -69,6 +82,7 @@ __all__ = [
     "ReproError",
     "RunResult",
     "RunSpec",
+    "Scenario",
     "SimulationError",
     "StorageError",
     "TheoryError",
@@ -76,6 +90,7 @@ __all__ = [
     "WorkloadParameters",
     "__version__",
     "derive_seed",
+    "get_scenario",
     "load_sweep",
     "parallel_load_sweep",
     "run_experiment",

@@ -27,6 +27,7 @@ from repro.causal.checker import CheckerReport
 from repro.cluster.config import ClusterConfig
 from repro.core.common.messages import ReadResult
 from repro.errors import ConfigurationError
+from repro.faults import Scenario, get_scenario
 from repro.harness.builder import BuiltCluster, build_cluster
 from repro.harness.parallel import (
     ParallelRunner,
@@ -203,6 +204,8 @@ __all__ = [
     "OperationResult",
     "ParallelRunner",
     "RunSpec",
+    "Scenario",
+    "get_scenario",
     "load_sweep",
     "parallel_load_sweep",
     "run_experiment",

@@ -45,6 +45,11 @@ class CcloClient(BaseClient):
         self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
                                        started_at=self.sim.now,
                                        expected_replies=len(groups))
+        registry = self.topology.rot_registry
+        if registry is not None:
+            # Fault runs track in-flight ROTs so version GC never evicts the
+            # versions an old-reader-barred ROT must fall back to.
+            registry.register(self.dc_id, rot_id)
         for partition_index, keys in groups.items():
             server = self.topology.server(self.dc_id, partition_index)
             self.send(server, OneRoundReadRequest(rot_id=rot_id,
@@ -60,6 +65,9 @@ class CcloClient(BaseClient):
         if not pending.complete:
             return
         self._pending_rot = None
+        registry = self.topology.rot_registry
+        if registry is not None:
+            registry.deregister(self.dc_id, message.rot_id)
         for result in pending.results.values():
             if result.timestamp is not None:
                 partition = self.partitioner.partition_of(result.key)

@@ -71,6 +71,22 @@ class WaitingRemoteCheck:
     missing: set[tuple[str, int, int]]
 
 
+@dataclass
+class WaitingLocalCheck:
+    """The local-partition leg of a readers check waiting for dependencies.
+
+    Replicated updates must not become visible before their dependencies;
+    the remote legs of the readers check enforce that with
+    ``require_present``, and in fault-hardened mode the local leg (the
+    dependencies stored on the written key's own partition) waits here under
+    the same rule.
+    """
+
+    check_id: str
+    keys: tuple[str, ...]
+    missing: set[tuple[str, int, int]]
+
+
 class CcloServer(PartitionServer):
     """A partition server running the latency-optimal (COPS-SNOW) design."""
 
@@ -85,7 +101,10 @@ class CcloServer(PartitionServer):
         self._check_ids = itertools.count()
         self._pending_checks: dict[str, PendingCheck] = {}
         self._waiting_remote_checks: list[WaitingRemoteCheck] = []
+        self._waiting_local_checks: list[WaitingLocalCheck] = []
         self._gc_task: Optional[PeriodicTask] = None
+        self._ordered_replication = False
+        self._parked_finalizes: dict[tuple[str, int], list[str]] = {}
 
     # ------------------------------------------------------------------ start
     def start(self) -> None:
@@ -203,14 +222,31 @@ class CcloServer(PartitionServer):
             groups.setdefault(self.partitioner.partition_of(key), []).append(
                 (key, ts, origin))
         local_deps = groups.pop(self.partition_index, [])
-        if local_deps:
-            pending.merge(tuple(self.readers.collect_for_response(
-                [key for key, _, _ in local_deps], self.sim.now)))
         pending.expected_replies = len(groups)
         pending.partitions_contacted = len(groups)
         self._pending_checks[check_id] = pending
-        if not groups:
+        if local_deps:
+            require_present = version.origin_dc != self.dc_id
+            missing = {dep for dep in local_deps
+                       if not self._dependency_present(dep)} \
+                if require_present and self._ordered_replication else set()
+            if missing:
+                # Fault-hardened mode: the local-partition leg obeys the same
+                # dependency wait the remote legs get via ``require_present``
+                # — without it a replicated update whose dependency lives on
+                # its own partition becomes visible before that dependency.
+                pending.expected_replies += 1
+                self._waiting_local_checks.append(WaitingLocalCheck(
+                    check_id=check_id,
+                    keys=tuple(key for key, _, _ in local_deps),
+                    missing=missing))
+            else:
+                pending.merge(tuple(self.readers.collect_for_response(
+                    [key for key, _, _ in local_deps], self.sim.now)))
+        if pending.expected_replies <= 0:
             self._finalize_check(check_id)
+            return
+        if not groups:
             return
         for partition_index, deps in groups.items():
             target = self.topology.server(self.dc_id, partition_index)
@@ -258,7 +294,34 @@ class CcloServer(PartitionServer):
         if pending.expected_replies <= 0:
             self._finalize_check(message.check_id)
 
+    def enable_ordered_replication(self) -> None:
+        """Make replicated versions of a key become visible in order.
+
+        Independent readers checks can complete out of order, letting a
+        *newer* replicated version of a key become visible while an older one
+        is still checking.  A remote dependency check satisfied by the newer
+        version then exposes versions that causally depend on the
+        still-invisible older one — a window that is sub-millisecond on a
+        healthy cluster but grows to the whole backlog-drain period after a
+        partition heals.  With ordering enabled, a replicated version whose
+        same-key same-origin predecessor is still invisible parks its
+        finalize until the predecessor completes.  The fault controller
+        enables this (like the retention policies); the healthy path keeps
+        the seed behaviour bit-for-bit.
+        """
+        self._ordered_replication = True
+
     def _finalize_check(self, check_id: str) -> None:
+        if self._ordered_replication:
+            pending = self._pending_checks[check_id]
+            version = pending.version
+            if version.origin_dc != self.dc_id \
+                    and self._has_invisible_predecessor(version):
+                slot = (version.key, version.origin_dc)
+                parked = self._parked_finalizes.setdefault(slot, [])
+                if check_id not in parked:
+                    parked.append(check_id)
+                return
         pending = self._pending_checks.pop(check_id)
         version = pending.version
         version.old_readers.update(pending.collected)
@@ -281,6 +344,26 @@ class CcloServer(PartitionServer):
                                                    timestamp=version.timestamp))
         if pending.replicate_after:
             self._replicate(version)
+        if self._ordered_replication:
+            self._release_parked_finalizes(version.key, version.origin_dc)
+
+    def _has_invisible_predecessor(self, version: Version) -> bool:
+        """An older same-key same-origin version still awaiting its check."""
+        return any(other.origin_dc == version.origin_dc
+                   and other.timestamp < version.timestamp
+                   and not other.visible
+                   for other in self.store.versions(version.key))
+
+    def _release_parked_finalizes(self, key: str, origin_dc: int) -> None:
+        """Retry parked finalizes of ``key`` now a predecessor is visible."""
+        parked = self._parked_finalizes.pop((key, origin_dc), None)
+        if not parked:
+            return
+        # Oldest first, so a released version immediately unblocks the next.
+        parked.sort(key=lambda check_id:
+                    self._pending_checks[check_id].version.timestamp)
+        for check_id in parked:
+            self._finalize_check(check_id)
 
     # ------------------------------------------------------------ replication
     def _replicate(self, version: Version) -> None:
@@ -315,18 +398,37 @@ class CcloServer(PartitionServer):
                                   replicate_after=False)
 
     def _notify_version_visible(self, version: Version) -> None:
-        """Wake remote readers-check requests waiting on this version."""
-        if not self._waiting_remote_checks:
-            return
-        still_waiting: list[WaitingRemoteCheck] = []
-        for waiting in self._waiting_remote_checks:
-            waiting.missing = {dep for dep in waiting.missing
-                               if not self._dependency_present(dep)}
-            if waiting.missing:
-                still_waiting.append(waiting)
-            else:
-                self._reply_readers_check(waiting.sender, waiting.request)
-        self._waiting_remote_checks = still_waiting
+        """Wake readers-check legs waiting on this version."""
+        if self._waiting_remote_checks:
+            still_waiting: list[WaitingRemoteCheck] = []
+            for waiting in self._waiting_remote_checks:
+                waiting.missing = {dep for dep in waiting.missing
+                                   if not self._dependency_present(dep)}
+                if waiting.missing:
+                    still_waiting.append(waiting)
+                else:
+                    self._reply_readers_check(waiting.sender, waiting.request)
+            self._waiting_remote_checks = still_waiting
+        if self._waiting_local_checks:
+            still_local: list[WaitingLocalCheck] = []
+            released: list[WaitingLocalCheck] = []
+            for waiting in self._waiting_local_checks:
+                waiting.missing = {dep for dep in waiting.missing
+                                   if not self._dependency_present(dep)}
+                if waiting.missing:
+                    still_local.append(waiting)
+                else:
+                    released.append(waiting)
+            self._waiting_local_checks = still_local
+            for waiting in released:
+                pending = self._pending_checks.get(waiting.check_id)
+                if pending is None:
+                    continue
+                pending.merge(tuple(self.readers.collect_for_response(
+                    list(waiting.keys), self.sim.now)))
+                pending.expected_replies -= 1
+                if pending.expected_replies <= 0:
+                    self._finalize_check(waiting.check_id)
 
 
 __all__ = ["CcloServer", "PendingCheck", "PROTOCOL_NAME"]

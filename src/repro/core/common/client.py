@@ -51,6 +51,10 @@ class BaseClient(Node):
         self._running = False
         self._op_started_at = 0.0
         self._current_operation: Optional[Operation] = None
+        # Fault-injection state (see repro.faults): a suspended client stops
+        # issuing after its in-flight operation completes; resume restarts it.
+        self._suspended = False
+        self._idle = False
 
     # ------------------------------------------------------------------ loop
     def start(self) -> None:
@@ -65,8 +69,34 @@ class BaseClient(Node):
         """Stop issuing new operations (in-flight ones finish naturally)."""
         self._running = False
 
+    def suspend(self) -> None:
+        """Stop issuing once the in-flight operation completes (load shaping)."""
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Undo :meth:`suspend`; re-enters the closed loop if it had idled."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        if self._running and self._idle:
+            self._idle = False
+            self._issue_next()
+
+    def in_flight_operation(self) -> Optional[tuple[str, float]]:
+        """The in-flight operation's ``(kind, age_seconds)``; None when idle.
+
+        Used by the fault controller's stalled-ROT gauge.
+        """
+        if self._current_operation is None:
+            return None
+        return (self._current_operation.kind, self.sim.now - self._op_started_at)
+
     def _issue_next(self) -> None:
+        self._current_operation = None
         if not self._running:
+            return
+        if self._suspended:
+            self._idle = True
             return
         operation = self.generator.next_operation()
         self._current_operation = operation

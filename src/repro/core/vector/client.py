@@ -87,6 +87,9 @@ class VectorClient(BaseClient):
         self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
                                        started_at=self.sim.now,
                                        expected_replies=len(involved))
+        registry = self.topology.rot_registry
+        if registry is not None:
+            registry.register(self.dc_id, rot_id)
         self.send(coordinator, RotCoordinatorRequest(
             rot_id=rot_id, keys=operation.keys,
             client_local_ts=self.local_ts_seen, client_gss=self.gss_seen,
@@ -118,6 +121,9 @@ class VectorClient(BaseClient):
         if not pending.complete:
             return
         self._pending_rot = None
+        registry = self.topology.rot_registry
+        if registry is not None:
+            registry.deregister(self.dc_id, message.rot_id)
         for result in pending.results.values():
             if result.timestamp is not None:
                 partition = self.partitioner.partition_of(result.key)

@@ -266,6 +266,11 @@ class VectorServer(PartitionServer):
         snapshot = list(entrywise_max(self.gss, message.client_gss))
         local = self.dc_id
         snapshot[local] = max(self.clock.read(), message.client_local_ts)
+        registry = self.topology.rot_registry
+        if registry is not None:
+            # Fault runs track in-flight snapshots so version GC never evicts
+            # what this ROT may still need (min-active-snapshot retention).
+            registry.attach_snapshot(self.dc_id, message.rot_id, tuple(snapshot))
         return tuple(snapshot)
 
     def _handle_read(self, message: RotProxyRead | RotReadRequest, *,

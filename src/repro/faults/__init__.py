@@ -1,0 +1,37 @@
+"""Fault injection and dynamic scenarios.
+
+This package turns a static simulation run into a *scenario lab*: a
+:class:`Scenario` is a deterministic, picklable schedule of fault events
+(DC partitions, link degradation with message loss, slow or paused servers,
+load spikes, workload shifts, hot-key churn) and a :class:`FaultController`
+executes it against a built cluster, slicing the run's metrics into
+per-phase :class:`~repro.metrics.collectors.PhaseSlice` rows along the way.
+
+Quick start::
+
+    from repro.faults import Scenario
+    from repro.harness import run_experiment
+
+    scenario = Scenario.at(0.8).partition_dc(1).at(1.6).heal()
+    outcome = run_experiment("contrarian", config, scenario=scenario,
+                             check_consistency=True)
+    for phase in outcome.result.phases:
+        print(phase.name, phase.throughput_kops, phase.rot_latency.mean_ms)
+
+Canned scenarios live in :mod:`repro.faults.library` and are resolvable by
+name through :func:`get_scenario` (used by the benchmark CLIs).
+"""
+
+from repro.faults.controller import BASELINE_PHASE, FaultController
+from repro.faults.library import SCENARIOS, get_scenario
+from repro.faults.scenario import ACTIONS, FaultEvent, Scenario
+
+__all__ = [
+    "ACTIONS",
+    "BASELINE_PHASE",
+    "FaultController",
+    "FaultEvent",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+]

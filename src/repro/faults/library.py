@@ -1,0 +1,123 @@
+"""Canned fault scenarios.
+
+Named, parameterised scenario factories used by the benchmarks, the CI fault
+smoke job and the examples.  Each factory returns a plain
+:class:`~repro.faults.scenario.Scenario`; :func:`get_scenario` resolves a
+factory by name (the ``--scenario`` flag of the benchmark CLIs).
+
+All times are absolute simulated seconds and default to fitting a run of
+roughly 2.5 simulated seconds (baseline, fault, recovery); pass explicit
+times to match longer runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.faults.scenario import Scenario
+
+
+def dc_partition(start: float = 0.8, heal: float = 1.6, dc: int = 1) -> Scenario:
+    """Partition one data center away from the rest, then heal it."""
+    if heal <= start:
+        raise ConfigurationError("heal time must come after the partition start")
+    return (Scenario.at(start).partition_dc(dc)
+                    .at(heal).heal()
+                    .named(f"dc{dc}-partition"))
+
+
+def flaky_wan(start: float = 0.8, heal: float = 1.6, dc_a: int = 0,
+              dc_b: int = 1, drop_probability: float = 0.05,
+              latency_factor: float = 4.0) -> Scenario:
+    """Degrade the inter-DC links: higher latency, jitter and message loss
+    (with TCP-style retransmission delays), then heal."""
+    return (Scenario.at(start).degrade_link(
+                dc_a, dc_b, latency_factor=latency_factor, jitter_factor=4.0,
+                drop_probability=drop_probability)
+                    .at(heal).heal()
+                    .named("flaky-wan"))
+
+
+def slow_dc(start: float = 0.8, heal: float = 1.6, dc: int = 0,
+            factor: float = 4.0) -> Scenario:
+    """Inflate the CPU service time of every server in one DC (e.g. noisy
+    neighbours or thermal throttling), then heal."""
+    return (Scenario.at(start).slow_dc(dc, factor)
+                    .at(heal).heal()
+                    .named(f"slow-dc{dc}"))
+
+
+def gc_stall(start: float = 0.8, resume: float = 1.2, dc: int = 0,
+             partition: int = 0) -> Scenario:
+    """Freeze one partition server's CPU for a while (a long GC pause)."""
+    if resume <= start:
+        raise ConfigurationError("resume time must come after the pause start")
+    return (Scenario.at(start).pause_server(dc, partition)
+                    .at(resume).resume_server(dc, partition)
+                    .named(f"gc-stall-dc{dc}-p{partition}"))
+
+
+def load_spike(baseline_fraction: float = 0.25, spike: float = 0.8,
+               relax: float = 1.6) -> Scenario:
+    """Run at a fraction of the configured clients, spike to all of them,
+    then fall back to the baseline fraction."""
+    return (Scenario.at(0.0).load_factor(baseline_fraction, phase="")
+                    .at(spike).load_factor(1.0, phase="spike")
+                    .at(relax).load_factor(baseline_fraction, phase="relaxed")
+                    .named("load-spike"))
+
+
+def write_surge(start: float = 0.8, relax: float = 1.6,
+                write_ratio: float = 0.5) -> Scenario:
+    """Shift the workload to write-heavy, then back to the paper default."""
+    return (Scenario.at(start).workload(write_ratio=write_ratio)
+                    .at(relax).workload(write_ratio=0.05, phase="relaxed")
+                    .named("write-surge"))
+
+
+def hot_key_churn(period: float = 0.5, rotations: int = 3,
+                  offset: int = 17) -> Scenario:
+    """Rotate the key-popularity mapping every ``period`` seconds so the hot
+    set keeps moving (cache-busting churn)."""
+    scenario = Scenario(name="hot-key-churn")
+    for index in range(1, rotations + 1):
+        scenario = scenario.at(index * period).rotate_keys(offset)
+    return scenario
+
+
+#: Registry of scenario factories, resolvable by CLI name.
+SCENARIOS: dict[str, Callable[..., Scenario]] = {
+    "dc-partition": dc_partition,
+    "flaky-wan": flaky_wan,
+    "slow-dc": slow_dc,
+    "gc-stall": gc_stall,
+    "load-spike": load_spike,
+    "write-surge": write_surge,
+    "hot-key-churn": hot_key_churn,
+}
+
+
+def get_scenario(name: str, **overrides: object) -> Scenario:
+    """Resolve a canned scenario by name (``none`` returns an empty one)."""
+    if name in ("", "none"):
+        return Scenario()
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: none, "
+            f"{', '.join(sorted(SCENARIOS))}")
+    return factory(**overrides)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "SCENARIOS",
+    "dc_partition",
+    "flaky_wan",
+    "gc_stall",
+    "get_scenario",
+    "hot_key_churn",
+    "load_spike",
+    "slow_dc",
+    "write_surge",
+]

@@ -1,0 +1,251 @@
+"""Time-scripted fault scenarios.
+
+A :class:`Scenario` is an immutable, picklable schedule of
+:class:`FaultEvent` entries — "at simulated time *t*, do *action* with these
+parameters".  Scenarios are pure data: they carry no references to a
+simulator or cluster, so the same scenario object can be executed by the
+serial runner, pickled into a :class:`~repro.harness.parallel.RunSpec` and
+shipped to a worker process, or stored next to a benchmark result.  The
+:class:`~repro.faults.controller.FaultController` interprets the events
+against a built cluster.
+
+Scenarios are written with a small chainable builder::
+
+    scenario = (Scenario.at(1.0).partition_dc(1)
+                        .at(2.0).heal()
+                        .named("dc1-partition"))
+
+``Scenario.at(t)`` (on the class or on an instance) opens a clause at time
+``t``; the clause methods append one event and return the extended scenario,
+so clauses chain naturally.  Each event optionally starts a named *phase*
+(defaulting to a name derived from the action); phases drive the per-phase
+metric slices of :class:`~repro.metrics.collectors.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Actions a scenario event may carry, with the phase name each one starts by
+#: default (``None`` means the event does not open a new phase by itself).
+ACTIONS: dict[str, Optional[str]] = {
+    "partition_dc": "partition",
+    "partition_link": "partition",
+    "heal": "healed",
+    "degrade_link": "degraded",
+    "slow_dc": "degraded",
+    "slow_server": "degraded",
+    "pause_server": "paused",
+    "resume_server": "resumed",
+    "load_factor": "load-shift",
+    "workload": "workload-shift",
+    "rotate_keys": "hot-key-churn",
+    "mark_phase": None,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so the
+    event stays hashable and picklable; values must be plain picklable types.
+    ``phase`` is the name of the metric phase the event opens ("" = none).
+    """
+
+    at: float
+    action: str
+    params: tuple[tuple[str, object], ...] = ()
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(
+                f"fault events cannot be scheduled before t=0, got {self.at}")
+        if self.action not in ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; "
+                f"known: {', '.join(sorted(ACTIONS))}")
+
+    def kwargs(self) -> dict[str, object]:
+        """The event parameters as a keyword dictionary."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """One-line human-readable rendition (used in logs and reports)."""
+        args = ", ".join(f"{name}={value!r}" for name, value in self.params)
+        phase = f" [phase {self.phase!r}]" if self.phase else ""
+        return f"t={self.at:g}s {self.action}({args}){phase}"
+
+
+class _AtDescriptor:
+    """Makes ``Scenario.at(t)`` work on both the class and instances.
+
+    On the class it opens a clause against a fresh empty scenario, so
+    schedules can start with ``Scenario.at(1.0)...``; on an instance it
+    extends that instance, which is what the chained ``...at(2.0).heal()``
+    calls resolve to.
+    """
+
+    def __get__(self, obj, objtype=None):
+        scenario = obj if obj is not None else objtype()
+
+        def at(time: float) -> "_Clause":
+            return _Clause(scenario, float(time))
+
+        return at
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An immutable schedule of fault events.
+
+    Events are kept sorted by time (stable for equal times, preserving the
+    order clauses were written in), so execution order is independent of the
+    order the schedule was built in.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    name: str = ""
+
+    at = _AtDescriptor()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    @property
+    def duration(self) -> float:
+        """Time of the last scheduled event (0.0 for an empty scenario)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def named(self, name: str) -> "Scenario":
+        """Return a copy carrying a display name."""
+        return replace(self, name=name)
+
+    def with_event(self, event: FaultEvent) -> "Scenario":
+        """Return a copy with ``event`` merged into the (sorted) schedule."""
+        events = sorted(self.events + (event,), key=lambda entry: entry.at)
+        return replace(self, events=tuple(events))
+
+    def phases(self) -> list[tuple[float, str]]:
+        """The ``(start_time, phase_name)`` boundaries the scenario defines."""
+        return [(event.at, event.phase) for event in self.events if event.phase]
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendition of the schedule."""
+        title = self.name or "scenario"
+        lines = [f"{title} ({len(self.events)} events)"]
+        lines.extend(f"  {event.describe()}" for event in self.events)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Clause:
+    """A pending ``at(t)`` clause; each method appends one event."""
+
+    scenario: Scenario
+    time: float
+
+    # ------------------------------------------------------------------ plumbing
+    def _add(self, action: str, phase: Optional[str] = None,
+             **params: object) -> Scenario:
+        if phase is None:
+            phase = ACTIONS[action] or ""
+        event = FaultEvent(at=self.time, action=action,
+                           params=tuple(sorted(params.items())), phase=phase)
+        return self.scenario.with_event(event)
+
+    # ------------------------------------------------------------------ network
+    def partition_dc(self, dc: int, *, phase: Optional[str] = None) -> Scenario:
+        """Sever every link between data center ``dc`` and the rest."""
+        return self._add("partition_dc", phase, dc=int(dc))
+
+    def partition_link(self, dc_a: int, dc_b: int, *,
+                       phase: Optional[str] = None) -> Scenario:
+        """Sever the links between two specific data centers (both ways)."""
+        return self._add("partition_link", phase, dc_a=int(dc_a), dc_b=int(dc_b))
+
+    def heal(self, *, phase: Optional[str] = None) -> Scenario:
+        """Restore the infrastructure: unblock and un-degrade every link,
+        reset node slowdowns and resume paused nodes.  Workload shifts are
+        *not* reverted (use another ``workload`` clause for that)."""
+        return self._add("heal", phase)
+
+    def degrade_link(self, dc_a: int, dc_b: int, *,
+                     latency_factor: float = 1.0, extra_us: float = 0.0,
+                     jitter_factor: float = 1.0, drop_probability: float = 0.0,
+                     redelivery_timeout_us: float = 2000.0,
+                     phase: Optional[str] = None) -> Scenario:
+        """Degrade the links between two DCs (both directions): multiply the
+        base latency, add a fixed extra delay, amplify jitter, and drop
+        messages with probability ``drop_probability`` (each drop costs one
+        ``redelivery_timeout_us`` retransmission delay — channels stay
+        reliable and FIFO, like TCP under loss)."""
+        return self._add("degrade_link", phase, dc_a=int(dc_a), dc_b=int(dc_b),
+                         latency_factor=float(latency_factor),
+                         extra_us=float(extra_us),
+                         jitter_factor=float(jitter_factor),
+                         drop_probability=float(drop_probability),
+                         redelivery_timeout_us=float(redelivery_timeout_us))
+
+    # -------------------------------------------------------------------- nodes
+    def slow_dc(self, dc: int, factor: float, *,
+                phase: Optional[str] = None) -> Scenario:
+        """Inflate the CPU service time of every server in ``dc``."""
+        return self._add("slow_dc", phase, dc=int(dc), factor=float(factor))
+
+    def slow_server(self, dc: int, partition: int, factor: float, *,
+                    phase: Optional[str] = None) -> Scenario:
+        """Inflate the CPU service time of one partition server."""
+        return self._add("slow_server", phase, dc=int(dc),
+                         partition=int(partition), factor=float(factor))
+
+    def pause_server(self, dc: int, partition: int, *,
+                     phase: Optional[str] = None) -> Scenario:
+        """Pause one partition server's CPU (a GC-stall-style freeze):
+        messages queue up but none is served until ``resume_server``."""
+        return self._add("pause_server", phase, dc=int(dc),
+                         partition=int(partition))
+
+    def resume_server(self, dc: int, partition: int, *,
+                      phase: Optional[str] = None) -> Scenario:
+        """Resume a paused partition server."""
+        return self._add("resume_server", phase, dc=int(dc),
+                         partition=int(partition))
+
+    # ----------------------------------------------------------------- workload
+    def load_factor(self, fraction: float, *,
+                    phase: Optional[str] = None) -> Scenario:
+        """Set the fraction of closed-loop clients actively issuing
+        operations (per DC).  Start a run below 1.0 and raise it to script a
+        load spike; lower it to script a load drop."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"load_factor must be in [0, 1], got {fraction}")
+        return self._add("load_factor", phase, fraction=float(fraction))
+
+    def workload(self, *, phase: Optional[str] = None,
+                 **changes: object) -> Scenario:
+        """Shift workload parameters (``write_ratio=``, ``skew=``,
+        ``value_size=``, ``rot_size=``) for every client from this point on."""
+        if not changes:
+            raise ConfigurationError("a workload shift needs at least one change")
+        return self._add("workload", phase, **changes)
+
+    def rotate_keys(self, offset: int, *,
+                    phase: Optional[str] = None) -> Scenario:
+        """Shift every client's key popularity by ``offset`` positions
+        (hot-key churn: the hottest keys move elsewhere in the keyspace)."""
+        return self._add("rotate_keys", phase, offset=int(offset))
+
+    # ------------------------------------------------------------------- phases
+    def mark_phase(self, name: str) -> Scenario:
+        """Open a named metric phase without injecting any fault."""
+        return self._add("mark_phase", name)
+
+
+__all__ = ["ACTIONS", "FaultEvent", "Scenario"]

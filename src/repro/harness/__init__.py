@@ -35,6 +35,18 @@ The figure generators (:mod:`repro.harness.figures`) and the measured rows of
 Table 2 (:func:`repro.harness.tables.measure_characterization`) route their
 grids through this runner; CI's smoke benchmark
 (``benchmarks/run_smoke_benchmark.py``) tracks its wall-clock from PR to PR.
+
+Fault scenarios
+---------------
+Every entry point accepts an optional :class:`~repro.faults.Scenario`
+(``run_experiment(..., scenario=...)``, ``RunSpec(scenario=...)``,
+``load_sweep(..., scenario=...)``): a deterministic, picklable schedule of
+faults (DC partitions, link degradation, slow/paused servers, load spikes,
+workload shifts) executed mid-run by a
+:class:`~repro.faults.FaultController`.  Results from scenario runs carry
+per-phase :class:`~repro.metrics.collectors.PhaseSlice` rows;
+:func:`fig_faults` traces all three protocols through a scripted DC
+partition with the causal checker asserting zero violations.
 """
 
 from repro.harness.builder import BuiltCluster, build_cluster
@@ -50,6 +62,8 @@ from repro.harness.parallel import (
 from repro.harness.runner import ExperimentOutcome, load_sweep, run_experiment
 from repro.harness.figures import (
     FigureResult,
+    fig_faults,
+    figure_faults,
     figure4_contrarian_vs_cure,
     figure5_default_workload,
     figure6_readers_check_overhead,
@@ -73,6 +87,8 @@ __all__ = [
     "RunSpec",
     "build_cluster",
     "derive_seed",
+    "fig_faults",
+    "figure_faults",
     "figure4_contrarian_vs_cure",
     "figure5_default_workload",
     "figure6_readers_check_overhead",

@@ -48,6 +48,7 @@ from typing import Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.errors import SimulationError
+from repro.faults.scenario import Scenario
 from repro.metrics.collectors import RunResult
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
@@ -83,13 +84,18 @@ class RunSpec:
     config: ClusterConfig = field(default_factory=ClusterConfig)
     workload: WorkloadParameters = field(default_factory=lambda: DEFAULT_WORKLOAD)
     label: str = ""
+    scenario: Optional[Scenario] = None
+    check_consistency: bool = False
 
     def describe(self) -> str:
         """Human-readable one-line description (used in error messages)."""
+        scenario = ""
+        if self.scenario is not None and not self.scenario.is_empty:
+            scenario = f", scenario={self.scenario.name or 'anonymous'!r}"
         return (f"RunSpec(protocol={self.protocol!r}, "
                 f"clients_per_dc={self.config.clients_per_dc}, "
                 f"dcs={self.config.num_dcs}, seed={self.config.seed}, "
-                f"label={self.label!r})")
+                f"label={self.label!r}{scenario})")
 
 
 def derive_seed(base_seed: int, *components: object) -> int:
@@ -116,6 +122,8 @@ def execute_spec(spec: RunSpec) -> RunResult:
     from repro.harness.runner import run_experiment
 
     outcome = run_experiment(spec.protocol, spec.config, spec.workload,
+                             scenario=spec.scenario,
+                             check_consistency=spec.check_consistency,
                              label=spec.label)
     return outcome.result
 
@@ -209,43 +217,50 @@ class ParallelRunner:
 def sweep_specs(protocol: str, client_counts: Sequence[int],
                 config: Optional[ClusterConfig] = None,
                 workload: Optional[WorkloadParameters] = None, *,
+                scenario: Optional[Scenario] = None,
+                check_consistency: bool = False,
                 label: str = "") -> list[RunSpec]:
     """The specs of one load sweep — identical points to the serial sweep."""
     config = config or ClusterConfig()
     workload = workload or DEFAULT_WORKLOAD
     return [RunSpec(protocol=protocol,
                     config=config.with_changes(clients_per_dc=clients),
-                    workload=workload, label=label)
+                    workload=workload, label=label, scenario=scenario,
+                    check_consistency=check_consistency)
             for clients in client_counts]
 
 
 def parallel_load_sweep(protocol: str, client_counts: Sequence[int],
                         config: Optional[ClusterConfig] = None,
                         workload: Optional[WorkloadParameters] = None, *,
+                        scenario: Optional[Scenario] = None,
                         label: str = "",
                         max_workers: Optional[int] = None,
                         runner: Optional[ParallelRunner] = None) -> list[RunResult]:
     """Drop-in parallel replacement for :func:`repro.harness.runner.load_sweep`.
 
     Builds the exact per-point configurations the serial sweep builds (same
-    seeds, same workload), so the returned rows are bit-identical to the
-    serial ones; only wall-clock time differs.
+    seeds, same workload, same fault scenario), so the returned rows are
+    bit-identical to the serial ones; only wall-clock time differs.
     """
     runner = runner or ParallelRunner(max_workers=max_workers)
     return runner.run(sweep_specs(protocol, client_counts, config, workload,
-                                  label=label))
+                                  scenario=scenario, label=label))
 
 
 def grid_specs(protocols: Sequence[str], client_counts: Sequence[int],
                seeds: Sequence[int] = (None,),  # type: ignore[assignment]
                config: Optional[ClusterConfig] = None,
                workload: Optional[WorkloadParameters] = None, *,
+               scenario: Optional[Scenario] = None,
+               check_consistency: bool = False,
                label: str = "") -> list[RunSpec]:
     """Specs for a full (protocol x client count x seed) grid.
 
     A seed of ``None`` keeps the configuration's own seed (matching the
     serial sweep); integer seeds are mixed into a per-cell seed with
     :func:`derive_seed` so that repetitions are independent but reproducible.
+    An optional fault ``scenario`` is attached to every cell.
     """
     config = config or ClusterConfig()
     workload = workload or DEFAULT_WORKLOAD
@@ -258,7 +273,9 @@ def grid_specs(protocols: Sequence[str], client_counts: Sequence[int],
                     point = point.with_changes(
                         seed=derive_seed(config.seed, protocol, clients, seed))
                 specs.append(RunSpec(protocol=protocol, config=point,
-                                     workload=workload, label=label))
+                                     workload=workload, label=label,
+                                     scenario=scenario,
+                                     check_consistency=check_consistency))
     return specs
 
 
@@ -266,6 +283,8 @@ def run_grid(protocols: Sequence[str], client_counts: Sequence[int],
              seeds: Sequence[int] = (None,),  # type: ignore[assignment]
              config: Optional[ClusterConfig] = None,
              workload: Optional[WorkloadParameters] = None, *,
+             scenario: Optional[Scenario] = None,
+             check_consistency: bool = False,
              label: str = "",
              max_workers: Optional[int] = None) -> dict[str, list[RunResult]]:
     """Run a full grid in one pool; results grouped by protocol, spec order.
@@ -275,6 +294,7 @@ def run_grid(protocols: Sequence[str], client_counts: Sequence[int],
     run finishes, which matters when protocols have very different costs.
     """
     specs = grid_specs(protocols, client_counts, seeds, config, workload,
+                       scenario=scenario, check_consistency=check_consistency,
                        label=label)
     results = ParallelRunner(max_workers=max_workers).run(specs)
     grouped: dict[str, list[RunResult]] = {protocol: [] for protocol in protocols}

@@ -15,6 +15,8 @@ from typing import Optional, Sequence
 
 from repro.causal.checker import CheckerReport
 from repro.cluster.config import ClusterConfig
+from repro.faults.controller import FaultController
+from repro.faults.scenario import Scenario
 from repro.harness.builder import BuiltCluster, build_cluster
 from repro.metrics.collectors import RunResult
 from repro.sim.costs import OverheadCounters
@@ -28,6 +30,7 @@ class ExperimentOutcome:
     result: RunResult
     cluster: BuiltCluster
     checker_report: Optional[CheckerReport] = None
+    faults: Optional[FaultController] = None
 
 
 def run_experiment(protocol: str,
@@ -35,6 +38,7 @@ def run_experiment(protocol: str,
                    workload: Optional[WorkloadParameters] = None, *,
                    enable_checker: bool = False,
                    check_consistency: bool = False,
+                   scenario: Optional[Scenario] = None,
                    label: str = "") -> ExperimentOutcome:
     """Run one experiment and return its outcome.
 
@@ -51,14 +55,24 @@ def run_experiment(protocol: str,
     check_consistency:
         Also run the causal-consistency checker after the run and raise if a
         violation is found (implies ``enable_checker``).
+    scenario:
+        Optional fault scenario to execute during the run; the result then
+        carries one :class:`~repro.metrics.collectors.PhaseSlice` per phase.
+        ``None`` (or an empty scenario) takes the unmodified healthy path.
     """
     config = config or ClusterConfig()
     workload = workload or DEFAULT_WORKLOAD
     cluster = build_cluster(protocol, config, workload,
                             enable_checker=enable_checker or check_consistency)
+    controller: Optional[FaultController] = None
+    if scenario is not None and not scenario.is_empty:
+        controller = FaultController(cluster.topology, cluster.metrics, scenario)
+        controller.install()
     cluster.start()
     cluster.sim.run(until=config.duration_seconds)
     cluster.stop()
+    if controller is not None:
+        controller.shutdown()
 
     overhead = OverheadCounters()
     for server in cluster.topology.all_servers():
@@ -78,24 +92,28 @@ def run_experiment(protocol: str,
         report = cluster.checker.check()
         if check_consistency:
             report.raise_if_violations()
-    return ExperimentOutcome(result=result, cluster=cluster, checker_report=report)
+    return ExperimentOutcome(result=result, cluster=cluster,
+                             checker_report=report, faults=controller)
 
 
 def load_sweep(protocol: str, client_counts: Sequence[int],
                config: Optional[ClusterConfig] = None,
                workload: Optional[WorkloadParameters] = None, *,
+               scenario: Optional[Scenario] = None,
                label: str = "") -> list[RunResult]:
     """Trace one throughput-versus-latency curve.
 
     Each point reruns the full simulation with a different number of
     closed-loop clients per DC, exactly like the paper's methodology of
-    spawning more client threads to increase the load.
+    spawning more client threads to increase the load.  An optional
+    ``scenario`` is executed identically at every load point.
     """
     config = config or ClusterConfig()
     results: list[RunResult] = []
     for clients in client_counts:
         point_config = config.with_changes(clients_per_dc=clients)
-        outcome = run_experiment(protocol, point_config, workload, label=label)
+        outcome = run_experiment(protocol, point_config, workload,
+                                 scenario=scenario, label=label)
         results.append(outcome.result)
     return results
 

@@ -1,6 +1,18 @@
 """Latency, throughput and overhead measurement."""
 
 from repro.metrics.latency import LatencyRecorder, LatencySummary
-from repro.metrics.collectors import MetricsRegistry, RunResult
+from repro.metrics.collectors import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    PhaseSlice,
+    RunResult,
+)
 
-__all__ = ["LatencyRecorder", "LatencySummary", "MetricsRegistry", "RunResult"]
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "MetricsRegistry",
+    "PhaseSlice",
+    "RunResult",
+    "SCHEMA_VERSION",
+]

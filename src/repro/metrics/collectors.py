@@ -5,6 +5,13 @@ Clients record per-operation latencies (split by operation type and excluding
 the warmup window), servers contribute their overhead counters, and at the end
 of the run the registry condenses everything into a :class:`RunResult` — the
 row format used by the figure/table harness.
+
+Runs that execute a fault scenario additionally slice their measurements into
+*phases*: the fault controller opens a phase at every scheduled event
+(:meth:`MetricsRegistry.begin_phase`) and records fault gauges into it
+(:meth:`MetricsRegistry.record_gauge`), and the finalised :class:`RunResult`
+carries one :class:`PhaseSlice` per phase.  Scenario-free runs never start a
+phase, so their results are unchanged.
 """
 
 from __future__ import annotations
@@ -15,13 +22,87 @@ from typing import Optional
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.sim.costs import OverheadCounters
 
+#: Version of the ``as_json_dict`` payload layout.  Bump when the layout
+#: changes; ``RunResult.from_json_dict`` accepts every version listed in
+#: :data:`SUPPORTED_SCHEMA_VERSIONS`.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """The measurements of one scenario phase (e.g. before/during/after a
+    partition).
+
+    ``start``/``end`` are simulated seconds; throughput and latencies cover
+    operations that *completed* inside the window (and after the warmup, like
+    the run-level statistics).  ``gauges`` summarises the fault gauges sampled
+    during the phase as ``{"<gauge>_max": ..., "<gauge>_mean": ...}`` — e.g.
+    stalled ROTs, remote-visibility lag and CC-LO reader-record growth.
+    """
+
+    name: str
+    start: float
+    end: float
+    rots_completed: int
+    puts_completed: int
+    throughput_kops: float
+    rot_latency: LatencySummary
+    put_latency: LatencySummary
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def as_json_dict(self) -> dict[str, object]:
+        """Serialise into plain JSON-compatible types."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "rots_completed": self.rots_completed,
+            "puts_completed": self.puts_completed,
+            "throughput_kops": self.throughput_kops,
+            "rot_latency": asdict(self.rot_latency),
+            "put_latency": asdict(self.put_latency),
+            "gauges": dict(self.gauges),
+        }
+
+    @staticmethod
+    def from_json_dict(payload: dict[str, object]) -> "PhaseSlice":
+        """Inverse of :meth:`as_json_dict`."""
+        return PhaseSlice(
+            name=str(payload["name"]),
+            start=float(payload["start"]),  # type: ignore[arg-type]
+            end=float(payload["end"]),  # type: ignore[arg-type]
+            rots_completed=int(payload["rots_completed"]),  # type: ignore[arg-type]
+            puts_completed=int(payload["puts_completed"]),  # type: ignore[arg-type]
+            throughput_kops=float(payload["throughput_kops"]),  # type: ignore[arg-type]
+            rot_latency=LatencySummary(**payload["rot_latency"]),  # type: ignore[arg-type]
+            put_latency=LatencySummary(**payload["put_latency"]),  # type: ignore[arg-type]
+            gauges=dict(payload.get("gauges", {})),  # type: ignore[arg-type]
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a dictionary suitable for tabular reports."""
+        row: dict[str, object] = {
+            "phase": self.name,
+            "window_s": f"{self.start:.2f}-{self.end:.2f}",
+            "throughput_kops": round(self.throughput_kops, 2),
+            "rot_avg_ms": round(self.rot_latency.mean_ms, 3),
+            "rot_p99_ms": round(self.rot_latency.p99_ms, 3),
+            "put_avg_ms": round(self.put_latency.mean_ms, 3),
+        }
+        for gauge in sorted(self.gauges):
+            if gauge.endswith("_max"):
+                row[gauge] = round(self.gauges[gauge], 3)
+        return row
+
 
 @dataclass(frozen=True)
 class RunResult:
     """The measured outcome of one simulated run.
 
     Throughput follows the paper's definition: completed PUTs plus completed
-    ROTs per second of measurement window.
+    ROTs per second of measurement window.  ``phases`` is empty unless the run
+    executed a fault scenario.
     """
 
     protocol: str
@@ -35,6 +116,7 @@ class RunResult:
     overhead: OverheadCounters
     cpu_utilization: float
     label: str = ""
+    phases: tuple[PhaseSlice, ...] = ()
 
     @property
     def rot_mean_ms(self) -> float:
@@ -51,19 +133,29 @@ class RunResult:
         """Average PUT latency in milliseconds (Section 5.2 aside)."""
         return self.put_latency.mean_ms
 
+    def phase(self, name: str) -> PhaseSlice:
+        """The (last) phase slice called ``name``; raises if absent."""
+        for candidate in reversed(self.phases):
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"run has no phase {name!r}; "
+                       f"phases: {[p.name for p in self.phases]}")
+
     def as_json_dict(self) -> dict[str, object]:
         """Serialise into plain JSON-compatible types.
 
-        Used by the CI smoke benchmark (``BENCH_smoke.json``) and any other
-        consumer that persists result rows across processes or runs.  The
-        bulky per-check sample lists of the overhead counters are summarised
-        rather than dumped.
+        Used by the CI benchmarks (``BENCH_smoke.json``, ``BENCH_faults.json``)
+        and any other consumer that persists result rows across processes or
+        runs.  The bulky per-check sample lists of the overhead counters are
+        summarised rather than dumped; :meth:`from_json_dict` is the inverse
+        (modulo those dropped sample lists).
         """
         overhead = asdict(self.overhead)
         for samples in ("per_check_distinct", "per_check_cumulative",
                         "per_check_partitions"):
             overhead.pop(samples, None)
         return {
+            "schema_version": SCHEMA_VERSION,
             "protocol": self.protocol,
             "num_dcs": self.num_dcs,
             "clients": self.clients,
@@ -75,7 +167,39 @@ class RunResult:
             "overhead": overhead,
             "cpu_utilization": self.cpu_utilization,
             "label": self.label,
+            "phases": [phase.as_json_dict() for phase in self.phases],
         }
+
+    @staticmethod
+    def from_json_dict(payload: dict[str, object]) -> "RunResult":
+        """Reconstruct a result row from :meth:`as_json_dict` output.
+
+        Accepts every schema version in :data:`SUPPORTED_SCHEMA_VERSIONS`
+        (version 1 payloads carry no ``phases``).  The per-check sample lists
+        of the overhead counters are not serialised, so they come back empty;
+        every scalar field round-trips exactly, which is what lets persisted
+        ``BENCH_*.json`` artifacts be reloaded and diffed.
+        """
+        version = payload.get("schema_version", 1)
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unsupported RunResult schema version {version!r}; "
+                f"supported: {SUPPORTED_SCHEMA_VERSIONS}")
+        return RunResult(
+            protocol=str(payload["protocol"]),
+            num_dcs=int(payload["num_dcs"]),  # type: ignore[arg-type]
+            clients=int(payload["clients"]),  # type: ignore[arg-type]
+            throughput_kops=float(payload["throughput_kops"]),  # type: ignore[arg-type]
+            rot_latency=LatencySummary(**payload["rot_latency"]),  # type: ignore[arg-type]
+            put_latency=LatencySummary(**payload["put_latency"]),  # type: ignore[arg-type]
+            rots_completed=int(payload["rots_completed"]),  # type: ignore[arg-type]
+            puts_completed=int(payload["puts_completed"]),  # type: ignore[arg-type]
+            overhead=OverheadCounters(**payload["overhead"]),  # type: ignore[arg-type]
+            cpu_utilization=float(payload["cpu_utilization"]),  # type: ignore[arg-type]
+            label=str(payload.get("label", "")),
+            phases=tuple(PhaseSlice.from_json_dict(phase)  # type: ignore[arg-type]
+                         for phase in payload.get("phases", ())),
+        )
 
     def as_row(self) -> dict[str, object]:
         """Flatten into a dictionary suitable for tabular reports."""
@@ -97,6 +221,44 @@ class RunResult:
         }
 
 
+class _PhaseAccumulator:
+    """Mutable per-phase sink the registry fills while a scenario runs."""
+
+    __slots__ = ("name", "start", "rot_latencies", "put_latencies",
+                 "rots_completed", "puts_completed", "gauge_samples")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.rot_latencies = LatencyRecorder()
+        self.put_latencies = LatencyRecorder()
+        self.rots_completed = 0
+        self.puts_completed = 0
+        self.gauge_samples: dict[str, list[float]] = {}
+
+    def finalize(self, end: float, warmup_seconds: float) -> PhaseSlice:
+        # Operations completing during warmup are never recorded, so the
+        # effective measurement window of a phase starts no earlier than the
+        # warmup boundary.
+        effective_start = max(self.start, warmup_seconds)
+        window = max(end - effective_start, 0.0)
+        operations = self.rots_completed + self.puts_completed
+        throughput = operations / window if window > 0 else 0.0
+        gauges: dict[str, float] = {}
+        for name, samples in sorted(self.gauge_samples.items()):
+            if samples:
+                gauges[f"{name}_max"] = max(samples)
+                gauges[f"{name}_mean"] = sum(samples) / len(samples)
+        return PhaseSlice(
+            name=self.name, start=self.start, end=end,
+            rots_completed=self.rots_completed,
+            puts_completed=self.puts_completed,
+            throughput_kops=throughput / 1000.0,
+            rot_latency=self.rot_latencies.summary(),
+            put_latency=self.put_latencies.summary(),
+            gauges=gauges)
+
+
 @dataclass
 class MetricsRegistry:
     """Mutable metric sink shared by every node of a run."""
@@ -108,6 +270,7 @@ class MetricsRegistry:
     puts_completed: int = 0
     rots_issued: int = 0
     puts_issued: int = 0
+    _phases: list[_PhaseAccumulator] = field(default_factory=list, repr=False)
 
     def record_rot(self, started_at: float, completed_at: float) -> None:
         """Record a completed ROT (ignored if it completed during warmup)."""
@@ -115,6 +278,10 @@ class MetricsRegistry:
             return
         self.rots_completed += 1
         self.rot_latencies.record(completed_at - started_at)
+        if self._phases:
+            phase = self._phases[-1]
+            phase.rots_completed += 1
+            phase.rot_latencies.record(completed_at - started_at)
 
     def record_put(self, started_at: float, completed_at: float) -> None:
         """Record a completed PUT (ignored if it completed during warmup)."""
@@ -122,6 +289,10 @@ class MetricsRegistry:
             return
         self.puts_completed += 1
         self.put_latencies.record(completed_at - started_at)
+        if self._phases:
+            phase = self._phases[-1]
+            phase.puts_completed += 1
+            phase.put_latencies.record(completed_at - started_at)
 
     def note_issue(self, is_put: bool) -> None:
         """Count an issued operation (diagnostics; includes warmup)."""
@@ -129,6 +300,30 @@ class MetricsRegistry:
             self.puts_issued += 1
         else:
             self.rots_issued += 1
+
+    # ----------------------------------------------------------------- phases
+    def begin_phase(self, name: str, now: float) -> None:
+        """Open a new metric phase at simulated time ``now``.
+
+        Called by the fault controller; everything recorded from here on is
+        attributed to the new phase (the previous one ends at ``now``).
+        Consecutive ``begin_phase`` calls at the same instant replace the
+        still-empty phase instead of leaving a zero-width slice behind.
+        """
+        if self._phases and self._phases[-1].start == now:
+            self._phases[-1] = _PhaseAccumulator(name, now)
+            return
+        self._phases.append(_PhaseAccumulator(name, now))
+
+    def record_gauge(self, name: str, value: float) -> None:
+        """Record one fault-gauge sample into the current phase (if any)."""
+        if self._phases:
+            self._phases[-1].gauge_samples.setdefault(name, []).append(value)
+
+    @property
+    def phase_tracking_active(self) -> bool:
+        """Whether a fault scenario opened at least one phase."""
+        return bool(self._phases)
 
     # ------------------------------------------------------------------ final
     def finalize(self, *, protocol: str, num_dcs: int, clients: int,
@@ -144,6 +339,11 @@ class MetricsRegistry:
         del rot_size
         operations = self.rots_completed + self.puts_completed
         throughput = operations / measurement_seconds if measurement_seconds > 0 else 0.0
+        end_of_run = self.warmup_seconds + measurement_seconds
+        phases = []
+        for accumulator, successor in zip(self._phases, self._phases[1:] + [None]):
+            end = successor.start if successor is not None else end_of_run
+            phases.append(accumulator.finalize(end, self.warmup_seconds))
         return RunResult(
             protocol=protocol,
             num_dcs=num_dcs,
@@ -156,7 +356,14 @@ class MetricsRegistry:
             overhead=overhead,
             cpu_utilization=cpu_utilization,
             label=label,
+            phases=tuple(phases),
         )
 
 
-__all__ = ["MetricsRegistry", "RunResult"]
+__all__ = [
+    "MetricsRegistry",
+    "PhaseSlice",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+]

@@ -12,6 +12,7 @@ dependency/ROT-id lists (CC-LO) consume proportionally more network time.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -123,6 +124,39 @@ class _DeliveryBatch:
             destination.enqueue_message(sender, message)
 
 
+class LinkFault:
+    """Mutable degradation state of one directed DC-to-DC link.
+
+    Installed by the fault controller and consulted in the network send path.
+    A *blocked* link holds messages (they are flushed in FIFO order when the
+    link is unblocked — the channel stays reliable, like TCP across a
+    partition).  A degraded link multiplies the base latency, adds a fixed
+    extra delay, amplifies jitter and charges each probabilistic "drop" one
+    redelivery timeout instead of losing the message.
+    """
+
+    __slots__ = ("latency_factor", "extra_us", "jitter_factor",
+                 "drop_probability", "redelivery_timeout_us", "blocked")
+
+    def __init__(self, *, latency_factor: float = 1.0, extra_us: float = 0.0,
+                 jitter_factor: float = 1.0, drop_probability: float = 0.0,
+                 redelivery_timeout_us: float = 2000.0,
+                 blocked: bool = False) -> None:
+        if latency_factor <= 0 or jitter_factor < 0:
+            raise ConfigurationError("link degradation factors must be positive")
+        if extra_us < 0 or redelivery_timeout_us < 0:
+            raise ConfigurationError("link delays must be non-negative")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {drop_probability}")
+        self.latency_factor = latency_factor
+        self.extra_us = extra_us
+        self.jitter_factor = jitter_factor
+        self.drop_probability = drop_probability
+        self.redelivery_timeout_us = redelivery_timeout_us
+        self.blocked = blocked
+
+
 class Network:
     """Delivers messages between simulated nodes.
 
@@ -130,6 +164,11 @@ class Network:
     by the :class:`LatencyModel`; delivery enqueues the message at the
     destination node's CPU (see :class:`repro.sim.node.Node`).  Same-tick
     deliveries on one channel are batched into a single engine event.
+
+    The fault controller may install per-link :class:`LinkFault` entries
+    (keyed by the ``(sender DC, destination DC)`` pair); while none is
+    installed the send path is exactly the healthy fast path, including its
+    RNG draws, so scenario-free runs are bit-identical to a fault-free build.
     """
 
     def __init__(self, sim: Simulator,
@@ -146,6 +185,11 @@ class Network:
         self._inter_us = self.latency.inter_dc_us
         self._bandwidth = self.latency.bandwidth_bytes_per_us
         self._jitter_us = self.latency.jitter_us
+        # Fault-injection state: empty (and RNG-free) on the healthy path.
+        self._link_faults: dict[tuple[int, int], LinkFault] = {}
+        self._held: dict[tuple[int, int], list[tuple["Node", "Node", object]]] = {}
+        self._fault_rng: Optional["random.Random"] = None
+        self.messages_dropped = 0
 
     def send(self, sender: "Node", destination: "Node", message: object) -> None:
         """Send ``message`` from ``sender`` to ``destination``.
@@ -162,10 +206,20 @@ class Network:
         size = self._message_size(message)
         same_dc = sender.dc_id == destination.dc_id
         self.stats.record(size, same_dc)
+        if self._link_faults:
+            fault = self._link_faults.get((sender.dc_id, destination.dc_id))
+            if fault is not None:
+                self._send_faulted(sender, destination, message, size, fault)
+                return
         # Inlined LatencyModel.one_way_delay (identical arithmetic).
         base = self._intra_us if same_dc else self._inter_us
         delay = microseconds(base + size / self._bandwidth
                              + self._jitter_us * self._rng.random())
+        self._schedule_arrival(sender, destination, message, delay)
+
+    def _schedule_arrival(self, sender: "Node", destination: "Node",
+                          message: object, delay: float) -> None:
+        """Clamp to per-channel FIFO order and schedule the delivery event."""
         channel = (sender.node_id, destination.node_id)
         arrival = max(self.sim.now + delay, self._last_delivery.get(channel, 0.0))
         self._last_delivery[channel] = arrival
@@ -179,6 +233,90 @@ class Network:
         self._open_batches[channel] = batch
         self.sim.call_at(arrival, batch.deliver,
                          label=f"deliver:{type(message).__name__}")
+
+    # ------------------------------------------------------------ fault hooks
+    def _send_faulted(self, sender: "Node", destination: "Node",
+                      message: object, size: int, fault: LinkFault) -> None:
+        """Degraded send path: hold, delay, or "drop" (delay by redelivery)."""
+        if fault.blocked:
+            self._held.setdefault((sender.dc_id, destination.dc_id), []).append(
+                (sender, destination, message))
+            return
+        same_dc = sender.dc_id == destination.dc_id
+        base = (self._intra_us if same_dc else self._inter_us) \
+            * fault.latency_factor + fault.extra_us
+        delay_us = (base + size / self._bandwidth
+                    + self._jitter_us * fault.jitter_factor * self._rng.random())
+        if fault.drop_probability > 0.0:
+            rng = self._fault_rng
+            if rng is None:
+                rng = self._fault_rng = self.sim.derived_rng("network-faults")
+            # Each "drop" is a retransmission after a timeout: the channel
+            # stays reliable and FIFO (the protocols assume TCP), loss only
+            # costs time.  Cap the geometric retry count defensively.
+            retries = 0
+            while retries < 16 and rng.random() < fault.drop_probability:
+                retries += 1
+            if retries:
+                self.messages_dropped += retries
+                delay_us += retries * fault.redelivery_timeout_us
+        self._schedule_arrival(sender, destination, message,
+                               microseconds(delay_us))
+
+    def set_link_fault(self, src_dc: int, dst_dc: int, **degradation: float) -> None:
+        """Install (or replace) the degradation state of one directed link.
+
+        A blocked link stays blocked: degrading a severed link must not
+        release its held messages (they would leapfrog the messages already
+        in flight and break per-channel FIFO order); only
+        :meth:`unblock_link` / :meth:`clear_link_faults` flush them.
+        """
+        previous = self._link_faults.get((src_dc, dst_dc))
+        fault = LinkFault(**degradation)
+        if previous is not None and previous.blocked:
+            fault.blocked = True
+        self._link_faults[(src_dc, dst_dc)] = fault
+
+    def block_link(self, src_dc: int, dst_dc: int) -> None:
+        """Sever one directed link: messages are held until it is unblocked."""
+        fault = self._link_faults.get((src_dc, dst_dc))
+        if fault is None:
+            fault = self._link_faults[(src_dc, dst_dc)] = LinkFault(blocked=True)
+        else:
+            fault.blocked = True
+
+    def _healthy_delay(self, same_dc: bool, size: int) -> float:
+        """One-way delay of a healthy link, in simulated seconds.
+
+        Must stay arithmetically identical to the inlined fast path in
+        :meth:`send` (which keeps its own copy because it runs once per
+        simulated message).
+        """
+        base = self._intra_us if same_dc else self._inter_us
+        return microseconds(base + size / self._bandwidth
+                            + self._jitter_us * self._rng.random())
+
+    def unblock_link(self, src_dc: int, dst_dc: int) -> None:
+        """Restore one directed link and flush its held messages in order."""
+        fault = self._link_faults.pop((src_dc, dst_dc), None)
+        if fault is None:
+            return
+        for sender, destination, message in self._held.pop((src_dc, dst_dc), []):
+            # Re-entering ``send`` would double-count stats; schedule with the
+            # healthy delay directly (FIFO order is preserved by the clamp).
+            delay = self._healthy_delay(sender.dc_id == destination.dc_id,
+                                        self._message_size(message))
+            self._schedule_arrival(sender, destination, message, delay)
+
+    def clear_link_faults(self) -> None:
+        """Remove every link fault, flushing all held messages (heal)."""
+        for src_dc, dst_dc in list(self._link_faults):
+            self.unblock_link(src_dc, dst_dc)
+
+    @property
+    def held_message_count(self) -> int:
+        """Messages currently held by blocked links (a fault gauge)."""
+        return sum(len(held) for held in self._held.values())
 
     def send_local(self, node: "Node", message: object) -> None:
         """Deliver a message from a node to itself without network delay.
@@ -197,4 +335,4 @@ class Network:
         return 64
 
 
-__all__ = ["LatencyModel", "Network", "NetworkStats"]
+__all__ = ["LatencyModel", "LinkFault", "Network", "NetworkStats"]

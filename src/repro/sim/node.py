@@ -63,6 +63,10 @@ class Node:
         self._queue: Deque[Tuple[object, object, float]] = deque()
         self._busy = False
         self._serving: Optional[Tuple[object, object]] = None
+        # Fault-injection state (see repro.faults): a service-time multiplier
+        # models a slow node, a paused node queues messages without serving.
+        self._service_factor = 1.0
+        self._paused = False
 
     # ------------------------------------------------------------------ queue
     def enqueue_message(self, sender: "Node", message: object) -> None:
@@ -70,11 +74,11 @@ class Node:
         self._queue.append((sender, message, self.sim.now))
         self.stats.max_queue_length = max(self.stats.max_queue_length,
                                           len(self._queue))
-        if not self._busy:
+        if not self._busy and not self._paused:
             self._serve_next()
 
     def _serve_next(self) -> None:
-        if not self._queue:
+        if self._paused or not self._queue:
             self._busy = False
             return
         self._busy = True
@@ -82,6 +86,8 @@ class Node:
         stats = self.stats
         stats.total_queue_wait += self.sim.now - enqueued_at
         service = self.service_time(message) / self.threads
+        if self._service_factor != 1.0:
+            service *= self._service_factor
         stats.busy_time += service
         # One message is in service at a time (the busy flag serialises the
         # CPU), so the in-flight pair can live on the node instead of in a
@@ -96,6 +102,40 @@ class Node:
         self.stats.messages_processed += 1
         self.handle_message(sender, message)
         self._serve_next()
+
+    # ----------------------------------------------------------------- faults
+    def set_service_factor(self, factor: float) -> None:
+        """Multiply every subsequent service time (1.0 restores health).
+
+        Used by the fault controller to model slow nodes (thermal throttling,
+        noisy neighbours); the inflated time also counts as busy time, so CPU
+        utilisation reflects the degradation.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"service factor must be positive, got {factor}")
+        self._service_factor = factor
+
+    def pause(self) -> None:
+        """Freeze this node's CPU (a GC-stall-style pause).
+
+        The message currently in service finishes; everything else queues
+        until :meth:`resume`.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume a paused CPU and start draining the backlog."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._busy and self._queue:
+            self._serve_next()
+
+    @property
+    def paused(self) -> bool:
+        """Whether the CPU is currently frozen by a fault."""
+        return self._paused
 
     # ------------------------------------------------------------------ hooks
     def service_time(self, message: object) -> float:

@@ -20,6 +20,10 @@ from repro.storage.version import Version
 #: Predicate deciding whether a version may be returned for a given read.
 VersionPredicate = Callable[[Version], bool]
 
+#: Retention policy: given a key's version chain (oldest first) and the
+#: number of versions the cap would trim, return how many may actually go.
+RetentionPolicy = Callable[[list[Version], int], int]
+
 
 class MultiVersionStore:
     """A multi-version key-value store for one partition."""
@@ -29,6 +33,7 @@ class MultiVersionStore:
             raise StorageError("max_versions_per_key must be at least 1")
         self._chains: dict[str, list[Version]] = {}
         self._max_versions = max_versions_per_key
+        self._retention_policy: Optional[RetentionPolicy] = None
         self.puts_applied = 0
         self.versions_collected = 0
 
@@ -42,11 +47,32 @@ class MultiVersionStore:
             self._collect(chain)
         return version
 
+    def set_retention_policy(self, policy: Optional[RetentionPolicy]) -> None:
+        """Constrain version collection (stable-snapshot / active-reader GC).
+
+        The policy receives the chain (oldest first) and the trim the cap
+        asks for, and returns how many of the oldest versions may really be
+        collected — real causal stores gate version GC on the stable snapshot
+        and the oldest active read.  This matters under faults: a partition
+        freezes the stable snapshot (and a draining post-heal backlog keeps
+        it stale) while writes keep truncating hot-key chains, so
+        unconstrained eviction would leave in-flight snapshots with nothing
+        to read.  Chains may then temporarily exceed the cap, exactly like a
+        real store's version GC stalling during a partition.  The fault
+        controller installs protocol-appropriate policies; scenario-free
+        runs never set one, so their eviction behaviour is unchanged.
+        """
+        self._retention_policy = policy
+
     def _collect(self, chain: list[Version]) -> None:
         """Trim the oldest versions beyond the retention limit."""
         excess = len(chain) - self._max_versions
         if excess <= 0:
             return
+        if self._retention_policy is not None:
+            excess = self._retention_policy(chain, excess)
+            if excess <= 0:
+                return
         del chain[:excess]
         self.versions_collected += excess
 
@@ -110,4 +136,4 @@ class MultiVersionStore:
                 f"versions={self.version_count()})")
 
 
-__all__ = ["MultiVersionStore", "VersionPredicate"]
+__all__ = ["MultiVersionStore", "RetentionPolicy", "VersionPredicate"]

@@ -66,12 +66,40 @@ class WorkloadGenerator:
         self._rng = rng
         self._key_sampler = ZipfianSampler(keys_per_partition, parameters.skew, rng)
         self._put_probability = parameters.put_probability
+        self._key_offset = 0
         self.generated_puts = 0
         self.generated_rots = 0
+
+    # ---------------------------------------------------------- phase changes
+    def set_parameters(self, parameters: WorkloadParameters) -> None:
+        """Switch to a new workload point mid-run (scenario-driven shift).
+
+        The zipfian sampler is rebuilt only when the skew changes, so shifts
+        of the write ratio or value size do not perturb the key-draw stream.
+        """
+        if parameters.rot_size > self._partitioner.num_partitions:
+            raise WorkloadError(
+                f"ROT size {parameters.rot_size} exceeds the number of "
+                f"partitions {self._partitioner.num_partitions}")
+        if parameters.skew != self.parameters.skew:
+            self._key_sampler = ZipfianSampler(self._keys_per_partition,
+                                               parameters.skew, self._rng)
+        self.parameters = parameters
+        self._put_probability = parameters.put_probability
+
+    def rotate_keys(self, offset: int) -> None:
+        """Shift the key popularity mapping by ``offset`` positions.
+
+        Models hot-key churn: the zipfian ranks stay the same but map to
+        different keys, so previously cold keys become the new hot set.
+        """
+        self._key_offset = (self._key_offset + offset) % self._keys_per_partition
 
     # ------------------------------------------------------------------ keys
     def _key_on_partition(self, partition: int) -> str:
         index = self._key_sampler.sample()
+        if self._key_offset:
+            index = (index + self._key_offset) % self._keys_per_partition
         return HashPartitioner.structured_key(partition, index)
 
     def _choose_partitions(self, count: int) -> list[int]:

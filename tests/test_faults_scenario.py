@@ -1,0 +1,198 @@
+"""Tests for the fault-scenario DSL, the canned library and the controller."""
+
+import pickle
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.topology import ActiveRotRegistry
+from repro.errors import ConfigurationError
+from repro.faults import SCENARIOS, FaultEvent, Scenario, get_scenario
+from repro.faults.controller import FaultController
+from repro.faults.library import dc_partition, load_spike
+from repro.harness.builder import build_cluster
+from repro.workload.parameters import DEFAULT_WORKLOAD
+
+
+class TestScenarioBuilder:
+    def test_class_level_at_starts_empty_scenario(self):
+        scenario = Scenario.at(1.0).partition_dc(0)
+        assert len(scenario.events) == 1
+        assert scenario.events[0].action == "partition_dc"
+        assert scenario.events[0].at == 1.0
+
+    def test_chaining_appends_events(self):
+        scenario = (Scenario.at(1.0).partition_dc(1)
+                            .at(2.0).heal()
+                            .at(3.0).slow_dc(0, 2.0))
+        assert [event.action for event in scenario.events] == \
+            ["partition_dc", "heal", "slow_dc"]
+
+    def test_events_sorted_by_time(self):
+        scenario = Scenario.at(5.0).heal().at(1.0).partition_dc(0)
+        assert [event.at for event in scenario.events] == [1.0, 5.0]
+        assert scenario.duration == 5.0
+
+    def test_scenarios_are_immutable_values(self):
+        base = Scenario.at(1.0).partition_dc(0)
+        extended = base.at(2.0).heal()
+        assert len(base.events) == 1
+        assert len(extended.events) == 2
+        assert base == Scenario.at(1.0).partition_dc(0)
+
+    def test_default_phase_names(self):
+        scenario = Scenario.at(1.0).partition_dc(1).at(2.0).heal()
+        assert scenario.phases() == [(1.0, "partition"), (2.0, "healed")]
+
+    def test_phase_override_and_suppression(self):
+        scenario = (Scenario.at(1.0).partition_dc(1, phase="isolated")
+                            .at(1.0).slow_dc(0, 2.0, phase=""))
+        assert scenario.phases() == [(1.0, "isolated")]
+
+    def test_mark_phase_without_fault(self):
+        scenario = Scenario.at(0.5).mark_phase("steady")
+        assert scenario.phases() == [(0.5, "steady")]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.at(-1.0).heal()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, action="meteor-strike")
+
+    def test_load_factor_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.at(0.0).load_factor(1.5)
+
+    def test_workload_shift_needs_changes(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.at(0.0).workload()
+
+    def test_scenario_is_picklable(self):
+        scenario = (Scenario.at(0.5).degrade_link(0, 1, latency_factor=3.0,
+                                                  drop_probability=0.1)
+                            .at(1.0).heal().named("wan"))
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.name == "wan"
+
+    def test_describe_lists_events(self):
+        scenario = dc_partition(start=1.0, heal=2.0, dc=1)
+        text = scenario.describe()
+        assert "dc1-partition" in text
+        assert "partition_dc" in text and "heal" in text
+
+
+class TestLibrary:
+    def test_all_canned_scenarios_build(self):
+        for name in SCENARIOS:
+            scenario = get_scenario(name)
+            assert not scenario.is_empty
+            assert scenario.name
+
+    def test_get_scenario_none_is_empty(self):
+        assert get_scenario("none").is_empty
+        assert get_scenario("").is_empty
+
+    def test_get_scenario_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("does-not-exist")
+
+    def test_get_scenario_forwards_overrides(self):
+        scenario = get_scenario("dc-partition", start=2.0, heal=4.0)
+        assert [event.at for event in scenario.events] == [2.0, 4.0]
+
+    def test_dc_partition_validates_order(self):
+        with pytest.raises(ConfigurationError):
+            dc_partition(start=2.0, heal=1.0)
+
+    def test_load_spike_phases(self):
+        scenario = load_spike(spike=1.0, relax=2.0)
+        assert (1.0, "spike") in scenario.phases()
+        assert (2.0, "relaxed") in scenario.phases()
+
+
+class TestFaultController:
+    def _cluster(self, **overrides):
+        config = ClusterConfig.test_scale(num_dcs=2, clients_per_dc=2,
+                                          **overrides)
+        return build_cluster("contrarian", config, DEFAULT_WORKLOAD)
+
+    def test_validates_dc_indices(self):
+        cluster = self._cluster()
+        scenario = Scenario.at(0.1).partition_dc(5)
+        with pytest.raises(ConfigurationError):
+            FaultController(cluster.topology, cluster.metrics, scenario)
+
+    def test_validates_partition_indices(self):
+        cluster = self._cluster()
+        scenario = Scenario.at(0.1).pause_server(0, 99)
+        with pytest.raises(ConfigurationError):
+            FaultController(cluster.topology, cluster.metrics, scenario)
+
+    def test_install_twice_rejected(self):
+        cluster = self._cluster()
+        scenario = Scenario.at(0.1).slow_dc(0, 2.0)
+        controller = FaultController(cluster.topology, cluster.metrics, scenario)
+        controller.install()
+        with pytest.raises(ConfigurationError):
+            controller.install()
+
+    def test_events_applied_at_scheduled_times(self):
+        cluster = self._cluster()
+        scenario = (Scenario.at(0.05).slow_dc(0, 4.0)
+                            .at(0.10).heal())
+        controller = FaultController(cluster.topology, cluster.metrics, scenario)
+        controller.install()
+        server = cluster.topology.server(0, 0)
+        cluster.sim.run(until=0.06)
+        assert server._service_factor == 4.0
+        cluster.sim.run(until=0.11)
+        assert server._service_factor == 1.0
+        assert [event.action for event in controller.applied_events] == \
+            ["slow_dc", "heal"]
+        controller.shutdown()
+
+    def test_install_enables_rot_tracking(self):
+        cluster = self._cluster()
+        scenario = Scenario.at(0.1).partition_dc(1)
+        controller = FaultController(cluster.topology, cluster.metrics, scenario)
+        assert cluster.topology.rot_registry is None
+        controller.install()
+        assert cluster.topology.rot_registry is not None
+        controller.shutdown()
+
+
+class TestActiveRotRegistry:
+    def test_snapshot_floor_takes_entrywise_min(self):
+        registry = ActiveRotRegistry(num_dcs=1)
+        registry.register(0, "r1", (5, 9))
+        registry.register(0, "r2", (7, 3))
+        registry.register(0, "r3")  # no snapshot yet
+        assert registry.snapshot_floor(0, (10, 10)) == (5, 3)
+        registry.deregister(0, "r1")
+        assert registry.snapshot_floor(0, (10, 10)) == (7, 3)
+
+    def test_attach_snapshot_only_for_registered(self):
+        registry = ActiveRotRegistry(num_dcs=1)
+        registry.attach_snapshot(0, "ghost", (1, 1))
+        assert registry.snapshot_floor(0, (9, 9)) == (9, 9)
+        registry.register(0, "r1")
+        registry.attach_snapshot(0, "r1", (2, 2))
+        assert registry.snapshot_floor(0, (9, 9)) == (2, 2)
+
+    def test_any_active(self):
+        registry = ActiveRotRegistry(num_dcs=2)
+        registry.register(1, "r1")
+        assert registry.any_active(1, ["r0", "r1"])
+        assert not registry.any_active(0, ["r1"])
+        assert registry.active_count(1) == 1
+
+
+class TestTopologyHelpers:
+    def test_cross_dc_links(self):
+        config = ClusterConfig.test_scale(num_dcs=3, clients_per_dc=1)
+        cluster = build_cluster("contrarian", config, DEFAULT_WORKLOAD)
+        links = cluster.topology.cross_dc_links(1)
+        assert set(links) == {(1, 0), (0, 1), (1, 2), (2, 1)}
