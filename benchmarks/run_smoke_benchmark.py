@@ -10,13 +10,16 @@ the parallel runner itself) is tracked from PR to PR.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
-        [--output BENCH_smoke.json] [--workers N] \
+        [--output BENCH_smoke.json] [--workers N] [--backend sim|realtime] \
         [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
 
 ``--protocols`` / ``--clients`` point the run at any grid cell instead of the
 default full-protocol 3-point sweep; ``--scenario`` executes a canned fault
 scenario (see ``repro.faults.library``) inside every run, in which case the
-JSON rows carry per-phase slices.
+JSON rows carry per-phase slices.  ``--backend realtime`` serves the same
+sweep from the asyncio backend (real wall-clock runs with the causal checker
+attached — the run *fails* on any consistency violation), so ``BENCH``
+artifacts can compare the two backends point by point.
 
 The default configuration is deliberately small (test-scale cluster, short
 runs): the goal is a stable, minutes-not-hours signal, not a full
@@ -35,9 +38,14 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.cluster.config import ClusterConfig
+from repro.errors import ConfigurationError
 from repro.core.registry import implemented_protocols
 from repro.faults.library import SCENARIOS, get_scenario
 from repro.harness.parallel import resolve_worker_count, run_grid
+from repro.runtime.experiment import run_realtime_experiment
+
+#: Wall-clock duration of one realtime sweep point (seconds, incl. warmup).
+REALTIME_POINT_SECONDS = 0.8
 
 #: Client counts of the smoke sweep (3 points, well below saturation).
 SMOKE_SWEEP = (2, 4, 8)
@@ -58,22 +66,36 @@ def smoke_config(scenario_name: str = "none") -> ClusterConfig:
 def run_smoke(workers: int | None = None,
               protocols: list[str] | None = None,
               clients: list[int] | None = None,
-              scenario_name: str = "none") -> dict[str, object]:
+              scenario_name: str = "none",
+              backend: str = "sim") -> dict[str, object]:
     """Run the smoke grid and return the JSON-ready report."""
     protocols = list(protocols or implemented_protocols())
     clients = list(clients or SMOKE_SWEEP)
     scenario = get_scenario(scenario_name)
+    if backend == "realtime" and not scenario.is_empty:
+        raise ConfigurationError(
+            "fault scenarios require the sim backend")
     config = smoke_config(scenario_name)
     started = time.perf_counter()
-    series = run_grid(protocols, clients, config=config,
-                      scenario=None if scenario.is_empty else scenario,
-                      label="smoke", max_workers=workers)
+    if backend == "realtime":
+        series = {protocol: [run_realtime_experiment(
+                      protocol,
+                      config.with_changes(clients_per_dc=count),
+                      duration_seconds=REALTIME_POINT_SECONDS,
+                      check_consistency=True, label="smoke-realtime").result
+                  for count in clients]
+                  for protocol in protocols}
+    else:
+        series = run_grid(protocols, clients, config=config,
+                          scenario=None if scenario.is_empty else scenario,
+                          label="smoke", max_workers=workers)
     wall_clock = time.perf_counter() - started
     return {
         "benchmark": "smoke",
+        "backend": backend,
         "client_counts": clients,
         "scenario": scenario_name if not scenario.is_empty else "none",
-        "workers": resolve_worker_count(workers),
+        "workers": 1 if backend == "realtime" else resolve_worker_count(workers),
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "wall_clock_seconds": round(wall_clock, 3),
@@ -100,19 +122,30 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["none", *sorted(SCENARIOS)],
                         help="canned fault scenario to run inside every "
                              "simulation (default: none)")
+    parser.add_argument("--backend", default="sim",
+                        choices=["sim", "realtime"],
+                        help="run the sweep on the discrete-event simulator "
+                             "or the asyncio realtime backend "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
+    if args.backend == "realtime" and args.scenario not in ("", "none"):
+        parser.error("fault scenarios require the sim backend")
+    if args.backend == "realtime" and args.workers is not None:
+        parser.error("--workers only applies to the sim backend "
+                     "(the realtime sweep runs points sequentially)")
 
     # Fail on an unwritable destination *before* spending minutes simulating.
     output_dir = os.path.dirname(os.path.abspath(args.output))
     os.makedirs(output_dir, exist_ok=True)
 
     report = run_smoke(args.workers, args.protocols, args.clients,
-                       args.scenario)
+                       args.scenario, args.backend)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    print(f"smoke benchmark: {len(report['series'])} protocols x "
+    print(f"smoke benchmark[{report['backend']}]: "
+          f"{len(report['series'])} protocols x "
           f"{len(report['client_counts'])} points "
           f"(scenario: {report['scenario']}) in "
           f"{report['wall_clock_seconds']}s "

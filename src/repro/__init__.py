@@ -4,8 +4,11 @@ Friend or Foe?" (Didona, Guerraoui, Wang, Zwaenepoel — VLDB 2018).
 The package contains:
 
 * the **Contrarian** protocol (the paper's contribution) plus the **Cure**
-  and **CC-LO / COPS-SNOW** baselines, all running on a discrete-event
-  simulation of a partitioned, optionally geo-replicated key-value store;
+  and **CC-LO / COPS-SNOW** baselines, implemented as sans-I/O protocol
+  kernels (:mod:`repro.core`) that run on two interchangeable backends: a
+  discrete-event simulation of a partitioned, optionally geo-replicated
+  key-value store (:mod:`repro.sim`) and a real-time in-process asyncio
+  runtime (:mod:`repro.runtime`);
 * a workload generator and experiment harness that regenerate every table
   and figure of the paper's evaluation section; and
 * an executable rendition of the paper's theoretical result (Theorem 1: the
@@ -19,6 +22,10 @@ Quickstart::
     store.put("album:acl")
     store.put("album:photos")
     print(store.rot(["album:acl", "album:photos"]).values)
+
+    # The same API served by real asyncio tasks on wall-clock time:
+    with CausalStore(protocol="contrarian", backend="realtime") as store:
+        store.put("album:acl")
 
     from repro.harness import run_experiment
     outcome = run_experiment("contrarian")
@@ -39,59 +46,45 @@ slow nodes, load spikes) with per-phase metrics and consistency checking::
     scenario = Scenario.at(0.8).partition_dc(1).at(1.6).heal()
     outcome = run_experiment("contrarian", config, scenario=scenario,
                              check_consistency=True)
+
+Exports resolve lazily (PEP 562), so importing a sans-I/O kernel module —
+e.g. ``repro.core.vector.kernel`` — never loads the simulator.
 """
 
-from repro.api import CausalStore, OperationResult
-from repro.faults import FaultController, FaultEvent, Scenario, get_scenario
-from repro.harness.parallel import (
-    ParallelExecutionError,
-    ParallelRunner,
-    RunSpec,
-    derive_seed,
-    parallel_load_sweep,
-)
-from repro.harness.runner import load_sweep, run_experiment
-from repro.cluster.config import ClusterConfig
-from repro.errors import (
-    ConfigurationError,
-    ConsistencyViolation,
-    ProtocolError,
-    ReproError,
-    SimulationError,
-    StorageError,
-    TheoryError,
-    WorkloadError,
-)
-from repro.metrics.collectors import RunResult
-from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+from repro._lazy import make_lazy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "CausalStore",
-    "ClusterConfig",
-    "ConfigurationError",
-    "ConsistencyViolation",
-    "DEFAULT_WORKLOAD",
-    "FaultController",
-    "FaultEvent",
-    "OperationResult",
-    "ParallelExecutionError",
-    "ParallelRunner",
-    "ProtocolError",
-    "ReproError",
-    "RunResult",
-    "RunSpec",
-    "Scenario",
-    "SimulationError",
-    "StorageError",
-    "TheoryError",
-    "WorkloadError",
-    "WorkloadParameters",
-    "__version__",
-    "derive_seed",
-    "get_scenario",
-    "load_sweep",
-    "parallel_load_sweep",
-    "run_experiment",
-]
+_EXPORTS = {
+    "CausalStore": "repro.api",
+    "ClusterConfig": "repro.cluster.config",
+    "ConfigurationError": "repro.errors",
+    "ConsistencyViolation": "repro.errors",
+    "DEFAULT_WORKLOAD": "repro.workload.parameters",
+    "FaultController": "repro.faults",
+    "FaultEvent": "repro.faults",
+    "OperationResult": "repro.api",
+    "ParallelExecutionError": "repro.harness.parallel",
+    "ParallelRunner": "repro.harness.parallel",
+    "ProtocolError": "repro.errors",
+    "ReproError": "repro.errors",
+    "RunResult": "repro.metrics.collectors",
+    "RunSpec": "repro.harness.parallel",
+    "Scenario": "repro.faults",
+    "SimulationError": "repro.errors",
+    "StorageError": "repro.errors",
+    "TheoryError": "repro.errors",
+    "WorkloadError": "repro.errors",
+    "WorkloadParameters": "repro.workload.parameters",
+    "derive_seed": "repro.harness.parallel",
+    "get_scenario": "repro.faults",
+    "load_sweep": "repro.harness.runner",
+    "parallel_load_sweep": "repro.harness.parallel",
+    "register_protocol": "repro.core.registry",
+    "run_experiment": "repro.harness.runner",
+    "run_realtime_experiment": "repro.runtime.experiment",
+}
+
+__all__ = sorted([*_EXPORTS, "__version__"])
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

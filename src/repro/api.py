@@ -2,17 +2,22 @@
 
 Most users interact with the library through three entry points:
 
-* :class:`CausalStore` — an in-process facade over a simulated cluster that
-  exposes the paper's API (``put``, ``get``, ``rot``) for a chosen protocol.
-  It drives the simulator under the hood, so calls return immediately with
-  the values the protocol would produce, and the simulated latency of every
-  operation is available for inspection.
+* :class:`CausalStore` — an in-process facade exposing the paper's API
+  (``put``, ``get``, ``rot``) for a chosen protocol, on a chosen *backend*:
+  ``backend="sim"`` (default) drives the discrete-event simulator and
+  returns the values the protocol would produce together with the simulated
+  latency; ``backend="realtime"`` serves the same protocol kernels from real
+  asyncio tasks on wall-clock time.  Both record the operation history for
+  the causal-consistency checker (:meth:`CausalStore.check`), and both
+  support deterministic teardown (:meth:`CausalStore.close` or use the
+  store as a context manager).
 * :func:`repro.harness.run_experiment` / :func:`repro.harness.load_sweep` —
-  workload-driven performance runs (what the figures use) — and their
+  workload-driven performance runs (what the figures use) — their
   process-pool counterparts :func:`repro.harness.parallel_load_sweep` /
-  :class:`repro.harness.ParallelRunner`, re-exported here for convenience.
+  :class:`repro.harness.ParallelRunner`, and the wall-clock sibling
+  :func:`repro.runtime.run_realtime_experiment`, re-exported here.
 * :mod:`repro.harness.figures` / :mod:`repro.harness.tables` — regenerate the
-  paper's evaluation (both now fan their run grids over worker processes).
+  paper's evaluation (both fan their run grids over worker processes).
 
 ``CausalStore`` is meant for correctness-oriented exploration (examples,
 tests, teaching); the harness is meant for performance studies.
@@ -20,13 +25,14 @@ tests, teaching); the harness is meant for performance studies.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.causal.checker import CheckerReport
 from repro.cluster.config import ClusterConfig
 from repro.core.common.messages import ReadResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RuntimeBackendError
 from repro.faults import Scenario, get_scenario
 from repro.harness.builder import BuiltCluster, build_cluster
 from repro.harness.parallel import (
@@ -35,12 +41,21 @@ from repro.harness.parallel import (
     parallel_load_sweep,
 )
 from repro.harness.runner import load_sweep, run_experiment
+from repro.runtime.cluster import RealtimeCluster
+from repro.runtime.experiment import run_realtime_experiment
 from repro.workload.parameters import WorkloadParameters
+
+#: Backends :class:`CausalStore` can run on.
+BACKENDS = ("sim", "realtime")
 
 
 @dataclass(frozen=True)
 class OperationResult:
-    """Outcome of one facade operation."""
+    """Outcome of one facade operation.
+
+    ``latency_ms`` is simulated milliseconds on the ``sim`` backend and
+    wall-clock milliseconds on the ``realtime`` backend.
+    """
 
     kind: str
     keys: tuple[str, ...]
@@ -51,43 +66,85 @@ class OperationResult:
 class CausalStore:
     """A causally consistent key-value store driven step-by-step.
 
-    The facade creates a single "interactive" client per session.  Every call
-    advances the simulation until the operation completes, then returns.  The
-    store validates the recorded history on demand via :meth:`check`.
+    The facade creates a single "interactive" client per data center.  Every
+    call advances the backend until the operation completes, then returns.
+    The store validates the recorded history on demand via :meth:`check`.
 
     Parameters
     ----------
     protocol:
-        ``"contrarian"`` (default), ``"cure"`` or ``"cc-lo"``.
+        ``"contrarian"`` (default), ``"cure"``, ``"cc-lo"``, or any protocol
+        added through :func:`repro.core.registry.register_protocol`.
+    backend:
+        ``"sim"`` (default) — operations run on the deterministic
+        discrete-event simulator; ``"realtime"`` — operations are served by
+        asyncio tasks on wall-clock time (the store owns a private event
+        loop and steps it while an operation is in flight).
     num_partitions / num_dcs:
-        Topology of the simulated cluster.
+        Topology of the cluster.
     config:
         Full configuration; overrides the two convenience parameters.
+
+    The store is a context manager; :meth:`close` (idempotent) tears down
+    the built cluster — periodic simulator tasks or asyncio tasks and the
+    private event loop.
     """
 
     def __init__(self, protocol: str = "contrarian", *,
+                 backend: str = "sim",
                  num_partitions: int = 4, num_dcs: int = 1,
                  config: Optional[ClusterConfig] = None) -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
         self.protocol = protocol
+        self.backend = backend
         base = config or ClusterConfig.test_scale(num_partitions=num_partitions,
                                                   num_dcs=num_dcs,
                                                   clients_per_dc=1)
+        self._results: list[OperationResult] = []
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        if backend == "realtime":
+            self._init_realtime(base)
+        else:
+            self._init_sim(base)
+
+    # ------------------------------------------------------------------ build
+    def _init_sim(self, base: ClusterConfig) -> None:
         # The facade issues operations itself, so the built-in workload-driven
         # clients must stay idle: one client per DC is created but never
         # started.
         self._cluster: BuiltCluster = build_cluster(
-            protocol, base, WorkloadParameters(rot_size=1), enable_checker=True)
+            self.protocol, base, WorkloadParameters(rot_size=1),
+            enable_checker=True)
         for server in self._cluster.topology.all_servers():
             server.start()
         self._clients = {dc: self._cluster.topology.clients_in_dc(dc)[0]
                          for dc in range(base.num_dcs)}
-        self._results: list[OperationResult] = []
+
+    def _init_realtime(self, base: ClusterConfig) -> None:
+        # Build (and thereby validate) the cluster before creating the event
+        # loop, so a bad protocol name cannot leak an unclosed loop.
+        self._rt_cluster = RealtimeCluster(
+            self.protocol, base, WorkloadParameters(rot_size=1),
+            enable_checker=True, workload_clients=False)
+        self._clients = {dc: self._rt_cluster.add_client(dc, 0)
+                         for dc in range(base.num_dcs)}
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._rt_cluster.start())
+        except BaseException:
+            self._loop.close()
+            raise
 
     # ------------------------------------------------------------------ sugar
     @property
-    def cluster(self) -> BuiltCluster:
-        """The underlying simulated cluster (for inspection)."""
-        return self._cluster
+    def cluster(self):
+        """The underlying cluster (for inspection): a
+        :class:`~repro.harness.builder.BuiltCluster` on the ``sim`` backend,
+        a :class:`~repro.runtime.cluster.RealtimeCluster` on ``realtime``."""
+        return self._rt_cluster if self.backend == "realtime" else self._cluster
 
     @property
     def history(self) -> list[OperationResult]:
@@ -100,26 +157,58 @@ class CausalStore:
         except KeyError as exc:
             raise ConfigurationError(f"no client attached to DC {dc}") from exc
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this CausalStore has been closed")
+
     # ------------------------------------------------------------- operations
     def put(self, key: str, value_size: int = 8, *, dc: int = 0) -> OperationResult:
         """Create a new version of ``key`` and wait for the PUT to complete."""
-        client = self._client(dc)
         operation = _SyntheticOperation(kind="put", keys=(key,),
                                         value_size=value_size)
-        return self._drive(client, operation)
+        return self._drive(self._client(dc), operation)
 
     def rot(self, keys: Sequence[str], *, dc: int = 0) -> OperationResult:
         """Read ``keys`` from a causally consistent snapshot."""
-        client = self._client(dc)
         operation = _SyntheticOperation(kind="rot", keys=tuple(keys),
                                         value_size=8)
-        return self._drive(client, operation)
+        return self._drive(self._client(dc), operation)
 
     def get(self, key: str, *, dc: int = 0) -> Optional[int]:
         """Read a single key (a ROT of size one); returns the version timestamp."""
         return self.rot([key], dc=dc).values[key]
 
     def _drive(self, client, operation) -> OperationResult:
+        self._ensure_open()
+        if self.backend == "realtime":
+            result = self._drive_realtime(client, operation)
+        else:
+            result = self._drive_sim(client, operation)
+        self._results.append(result)
+        return result
+
+    def _drive_realtime(self, client, operation) -> OperationResult:
+        clock = self._rt_cluster.clock
+        started = clock.now
+        try:
+            outcome = self._loop.run_until_complete(client.perform(operation))
+        except RuntimeBackendError:
+            # A timed-out operation usually means a node task died; surface
+            # that root cause instead of the generic timeout.
+            failure = self._rt_cluster.first_failure()
+            if failure is not None:
+                raise failure
+            raise
+        if operation.kind == "put":
+            values: dict[str, Optional[int]] = {outcome.key: outcome.timestamp}
+        else:
+            values = {result.key: result.timestamp
+                      for result in outcome.results.values()}
+        return OperationResult(kind=operation.kind, keys=operation.keys,
+                               values=values,
+                               latency_ms=(clock.now - started) * 1000.0)
+
+    def _drive_sim(self, client, operation) -> OperationResult:
         sim = self._cluster.sim
         started = sim.now
         done: dict[str, object] = {}
@@ -133,9 +222,10 @@ class CausalStore:
                               for result in results.values()}
             original_complete_rot(rot_id, results)
 
-        def capture_put(key: str, timestamp: int, origin_dc: int) -> None:
+        def capture_put(key: str, timestamp: int, origin_dc: int,
+                        dependencies: tuple = ()) -> None:
             done["values"] = {key: timestamp}
-            original_complete_put(key, timestamp, origin_dc)
+            original_complete_put(key, timestamp, origin_dc, dependencies)
 
         def no_next() -> None:
             # The facade issues operations explicitly; suppress the closed loop.
@@ -165,21 +255,54 @@ class CausalStore:
             client.complete_rot = original_complete_rot
             client.complete_put = original_complete_put
             client._issue_next = original_issue_next
-        result = OperationResult(kind=operation.kind, keys=operation.keys,
-                                 values=dict(done["values"]),
-                                 latency_ms=(sim.now - started) * 1000.0)
-        self._results.append(result)
-        return result
+        return OperationResult(kind=operation.kind, keys=operation.keys,
+                               values=dict(done["values"]),
+                               latency_ms=(sim.now - started) * 1000.0)
 
     # ------------------------------------------------------------------ audit
     def advance(self, seconds: float) -> None:
-        """Advance simulated time (lets replication and stabilization run)."""
-        self._cluster.sim.run(until=self._cluster.sim.now + seconds)
+        """Advance time (lets replication and stabilization run).
+
+        Simulated seconds on the ``sim`` backend; *wall-clock* seconds on
+        ``realtime`` (the call genuinely sleeps while the cluster serves).
+        """
+        self._ensure_open()
+        if self.backend == "realtime":
+            self._loop.run_until_complete(asyncio.sleep(seconds))
+        else:
+            self._cluster.sim.run(until=self._cluster.sim.now + seconds)
 
     def check(self) -> CheckerReport:
         """Validate the recorded history against causal consistency."""
-        assert self._cluster.checker is not None
-        return self._cluster.checker.check()
+        checker = (self._rt_cluster.checker if self.backend == "realtime"
+                   else self._cluster.checker)
+        assert checker is not None
+        return checker.check()
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Tear down the built cluster; safe to call more than once.
+
+        On the ``sim`` backend this stops the idle clients and cancels the
+        servers' periodic tasks so the event queue can drain; on
+        ``realtime`` it cancels every asyncio task and closes the private
+        event loop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.backend == "realtime":
+            self._loop.run_until_complete(self._rt_cluster.stop())
+            self._loop.close()
+        else:
+            self._cluster.stop()
+
+    def __enter__(self) -> "CausalStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        del exc_type, exc_value, traceback
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -200,6 +323,7 @@ class _SyntheticOperation:
 
 
 __all__ = [
+    "BACKENDS",
     "CausalStore",
     "OperationResult",
     "ParallelRunner",
@@ -209,4 +333,5 @@ __all__ = [
     "load_sweep",
     "parallel_load_sweep",
     "run_experiment",
+    "run_realtime_experiment",
 ]

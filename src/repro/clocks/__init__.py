@@ -14,11 +14,15 @@ Three clock families appear in the paper (Table 2, Section 4):
 from repro.clocks.hlc import HybridLogicalClock, HLCTimestamp
 from repro.clocks.lamport import LamportClock
 from repro.clocks.physical import PhysicalClock, SkewModel
+from repro.clocks.timesource import FixedClock, TimeSource, WallClock
 
 __all__ = [
+    "FixedClock",
     "HLCTimestamp",
     "HybridLogicalClock",
     "LamportClock",
     "PhysicalClock",
     "SkewModel",
+    "TimeSource",
+    "WallClock",
 ]

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ClockError
-from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clocks.timesource import TimeSource
 
 
-#: Conversion between simulated seconds and clock microseconds.
+#: Conversion between seconds and clock microseconds.
 _US_PER_SECOND = 1_000_000
 
 
@@ -55,16 +58,19 @@ class SkewModel:
 
 
 class PhysicalClock:
-    """A per-server physical clock: simulated time plus a fixed offset.
+    """A per-server physical clock: a time source plus a fixed offset.
 
+    The time source is anything with a ``now`` attribute returning seconds —
+    the discrete-event simulator on the simulated backend, a
+    :class:`~repro.clocks.timesource.WallClock` on the real-time backend.
     ``now_us()`` returns the current reading in integer microseconds.  The
     reading is guaranteed to be monotonically non-decreasing even if the
     offset would make consecutive readings equal.
     """
 
-    def __init__(self, sim: Simulator, offset_us: float = 0.0,
+    def __init__(self, time_source: "TimeSource", offset_us: float = 0.0,
                  drift_ppm: float = 0.0) -> None:
-        self._sim = sim
+        self._time_source = time_source
         self._offset_us = offset_us
         self._drift = drift_ppm * 1e-6
         self._last_reading = 0
@@ -76,7 +82,7 @@ class PhysicalClock:
 
     def now_us(self) -> int:
         """Current reading in integer microseconds (monotonic)."""
-        elapsed_us = self._sim.now * _US_PER_SECOND
+        elapsed_us = self._time_source.now * _US_PER_SECOND
         reading = elapsed_us * (1.0 + self._drift) + self._offset_us
         value = max(int(reading), 0)
         if value < self._last_reading:

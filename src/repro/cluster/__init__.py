@@ -1,6 +1,18 @@
-"""Cluster topology, configuration and key partitioning."""
+"""Cluster topology, configuration and key partitioning.
 
-from repro.cluster.config import ClusterConfig
-from repro.cluster.partitioning import HashPartitioner
+Exports resolve lazily: :mod:`repro.cluster.partitioning` is pure (the
+kernels use it), while :mod:`repro.cluster.config` pulls in the simulator's
+cost/latency models — laziness keeps the former importable without the
+latter.
+"""
 
-__all__ = ["ClusterConfig", "HashPartitioner"]
+from repro._lazy import make_lazy
+
+_EXPORTS = {
+    "ClusterConfig": "repro.cluster.config",
+    "HashPartitioner": "repro.cluster.partitioning",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

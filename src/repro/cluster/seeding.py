@@ -1,0 +1,44 @@
+"""Initial-keyspace seeding shared by the cluster builders.
+
+Both backends preload every partition's store with an initial version of
+every key before serving traffic (the paper preloads 1M keys per partition
+before measuring).  The invariant lives here, once: initial versions carry
+timestamp 0, an all-zero dependency vector and no dependencies, so they
+belong to every snapshot and never trigger readers checks.  The simulated
+builder (:mod:`repro.harness.builder`) and the real-time one
+(:mod:`repro.runtime.cluster`) both call :func:`preload_initial_keyspace`.
+
+This module must stay importable without ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.causal.vectors import zero_vector
+from repro.cluster.partitioning import HashPartitioner
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.version import Version
+
+
+def preload_initial_keyspace(stores: Iterable[Tuple[int, MultiVersionStore]],
+                             *, num_dcs: int, keys_per_partition: int,
+                             value_size: int) -> None:
+    """Install an initial version of every key into every given store.
+
+    ``stores`` yields ``(partition_index, store)`` pairs — one per
+    (DC, partition) server; keys follow the partitioner's structured-key
+    scheme.
+    """
+    initial_vector = zero_vector(num_dcs)
+    for partition_index, store in stores:
+        versions = (
+            Version(key=HashPartitioner.structured_key(partition_index, index),
+                    value=None, timestamp=0, origin_dc=0,
+                    size_bytes=value_size,
+                    dependency_vector=initial_vector, visible=True)
+            for index in range(keys_per_partition))
+        store.preload(versions)
+
+
+__all__ = ["preload_initial_keyspace"]

@@ -1,4 +1,20 @@
-"""Protocol implementations.
+"""Protocol implementations: sans-I/O kernels plus backend drivers.
+
+Every protocol is split into two layers (the kernel/driver split):
+
+* a **kernel** — a pure state machine in ``core/<family>/kernel.py`` with the
+  API ``on_message(msg, now) / on_timer(tag, payload, now) ->
+  list[Effect]``, where effects are ``Send``, ``SetTimer`` and ``Complete``
+  (see :mod:`repro.core.common.kernel`).  Kernels import neither the
+  simulator nor any event loop, so the same protocol logic serves the
+  discrete-event backend, the real-time asyncio backend
+  (:mod:`repro.runtime`) and isolated unit tests.
+* a **driver** — the backend-specific shell that feeds the kernel and
+  executes its effects: the simulated drivers live next to the kernels
+  (``core/<family>/server.py`` / ``client.py``), the real-time ones in
+  :mod:`repro.runtime`.
+
+The families:
 
 * :mod:`repro.core.contrarian` — the paper's contribution: nonblocking,
   one-version ROTs in 1½ (or 2) rounds using HLCs and the GSS stabilization
@@ -7,10 +23,23 @@
   design but with physical clocks and two rounds, which makes ROTs blocking
   under clock skew.
 * :mod:`repro.core.cclo` — the latency-optimal baseline (the COPS-SNOW
-  design, called CC-LO in the paper): one-round, one-version, nonblocking
-  ROTs paid for by the readers check performed on every PUT.
+  design): one-round, one-version, nonblocking ROTs paid for by the readers
+  check performed on every PUT.
+
+Exports resolve lazily (PEP 562) so that importing a kernel module never
+drags in the registry's driver classes — and therefore never the simulator.
 """
 
-from repro.core.registry import PROTOCOLS, protocol_properties
+from repro._lazy import make_lazy
 
-__all__ = ["PROTOCOLS", "protocol_properties"]
+_EXPORTS = {
+    "PROTOCOLS": "repro.core.registry",
+    "ProtocolSpec": "repro.core.registry",
+    "protocol_properties": "repro.core.registry",
+    "register_protocol": "repro.core.registry",
+    "resolve_spec": "repro.core.registry",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

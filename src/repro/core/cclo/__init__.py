@@ -9,12 +9,23 @@ new version — and attach them to the version (the *readers check*).  The
 paper's two published optimisations are implemented and on by default:
 aggressive garbage collection of reader records (500 ms instead of 5 s) and
 at most one ROT id per client in each readers-check response.
+
+The protocol state machines live in :mod:`repro.core.cclo.kernel`
+(sans-I/O); the simulated drivers in ``server``/``client``.  Exports resolve
+lazily so kernel imports stay simulator-free.
 """
 
-from repro.core.cclo.client import CcloClient
-from repro.core.cclo.readers import ReaderRecords
-from repro.core.cclo.server import CcloServer
+from repro._lazy import make_lazy
 
-PROTOCOL_NAME = "cc-lo"
+_EXPORTS = {
+    "CcloClient": "repro.core.cclo.client",
+    "CcloClientKernel": "repro.core.cclo.kernel",
+    "CcloKernel": "repro.core.cclo.kernel",
+    "CcloServer": "repro.core.cclo.server",
+    "PROTOCOL_NAME": "repro.core.cclo.kernel",
+    "ReaderRecords": "repro.core.cclo.readers",
+}
 
-__all__ = ["CcloClient", "CcloServer", "PROTOCOL_NAME", "ReaderRecords"]
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

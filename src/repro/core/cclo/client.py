@@ -1,116 +1,38 @@
-"""Client of CC-LO (the COPS-SNOW design).
+"""Simulated driver of the CC-LO (COPS-SNOW) client.
 
-ROTs are a single round: the client sends one read request per involved
-partition (tagged with a globally unique ROT id) and completes once every
-partition has answered.  PUTs carry the client's accumulated dependencies —
-the versions it has read since its last PUT — which is exactly the information
-the writing partition needs to run the readers check.
+The one-round ROT exchange and the nearest-dependency context live in the
+sans-I/O :class:`~repro.core.cclo.kernel.CcloClientKernel`; this driver
+plugs one kernel into the closed-loop machinery of
+:class:`~repro.core.common.client.BaseClient`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from repro.causal.dependencies import ClientDependencyContext
+from repro.core.cclo.kernel import CcloClientKernel
 from repro.core.common.client import BaseClient
-from repro.core.common.messages import (
-    CcloPutReply,
-    CcloPutRequest,
-    OneRoundReadReply,
-    OneRoundReadRequest,
-    PendingRot,
-    ReadResult,
-)
-from repro.errors import ProtocolError
-from repro.workload.generator import Operation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.topology import ClusterTopology
-    from repro.sim.node import Node
 
 
 class CcloClient(BaseClient):
     """A closed-loop client speaking the latency-optimal protocol."""
 
+    kernel_class: type[CcloClientKernel] = CcloClientKernel
+
     def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
                  generator, metrics, checker=None) -> None:
         super().__init__(topology, dc_id, client_index, generator, metrics, checker)
-        self.dep_context = ClientDependencyContext()
-        self._pending_rot: Optional[PendingRot] = None
+        self.attach_kernel(self.kernel_class.from_config(
+            topology.config, self.node_id, dc_id,
+            partitioner=topology.partitioner, rng=self.rng,
+            rot_registry=lambda: topology.rot_registry))
 
-    # ------------------------------------------------------------------- ROT
-    def issue_rot(self, operation: Operation) -> None:
-        rot_id = self.next_rot_id()
-        groups = self.partitioner.group_by_partition(list(operation.keys))
-        self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
-                                       started_at=self.sim.now,
-                                       expected_replies=len(groups))
-        registry = self.topology.rot_registry
-        if registry is not None:
-            # Fault runs track in-flight ROTs so version GC never evicts the
-            # versions an old-reader-barred ROT must fall back to.
-            registry.register(self.dc_id, rot_id)
-        for partition_index, keys in groups.items():
-            server = self.topology.server(self.dc_id, partition_index)
-            self.send(server, OneRoundReadRequest(rot_id=rot_id,
-                                                  keys=tuple(keys),
-                                                  client_id=self.node_id))
-
-    def _handle_read_reply(self, message: OneRoundReadReply) -> None:
-        pending = self._pending_rot
-        if pending is None or pending.rot_id != message.rot_id:
-            raise ProtocolError(
-                f"{self.node_id} received a reply for unknown ROT {message.rot_id}")
-        pending.record_reply(message.results)
-        if not pending.complete:
-            return
-        self._pending_rot = None
-        registry = self.topology.rot_registry
-        if registry is not None:
-            registry.deregister(self.dc_id, message.rot_id)
-        for result in pending.results.values():
-            if result.timestamp is not None:
-                partition = self.partitioner.partition_of(result.key)
-                self.dep_context.observe_read(result.key, result.timestamp,
-                                              partition, result.origin_dc)
-        self.complete_rot(message.rot_id, pending.results)
-
-    # ------------------------------------------------------------------- PUT
-    def issue_put(self, operation: Operation) -> None:
-        key = operation.keys[0]
-        server = self.topology.server_for_key(self.dc_id, key)
-        dependencies = tuple(dep.as_triple()
-                             for dep in self.dep_context.dependencies())
-        request = CcloPutRequest(
-            key=key, value_size=operation.value_size,
-            dependencies=dependencies,
-            dependency_partitions=self.dep_context.dependency_partitions(),
-            client_id=self.node_id, sequence=self.sequence)
-        self.send(server, request)
-
-    def _handle_put_reply(self, message: CcloPutReply) -> None:
-        self.complete_put(message.key, message.timestamp, self.dc_id)
-
-    def after_put(self, key: str, timestamp: int, origin_dc: int) -> None:
-        partition = self.partitioner.partition_of(key)
-        self.dep_context.observe_write(key, timestamp, partition, origin_dc)
-
-    # -------------------------------------------------------------- dispatch
-    def handle_message(self, sender: "Node", message: object) -> None:
-        del sender
-        if isinstance(message, OneRoundReadReply):
-            self._handle_read_reply(message)
-        elif isinstance(message, CcloPutReply):
-            self._handle_put_reply(message)
-        else:
-            raise ProtocolError(f"{self.node_id} cannot handle {type(message).__name__}")
-
-    # ------------------------------------------------------------------ misc
-    def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
-        return tuple(dep.as_triple() for dep in self.dep_context.dependencies())
-
-    def after_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
-        del rot_id, results  # dependencies already recorded in the reply handler
+    @property
+    def dep_context(self):
+        return self.kernel.dep_context
 
 
 __all__ = ["CcloClient"]

@@ -1,0 +1,553 @@
+"""Sans-I/O kernels of CC-LO (the COPS-SNOW design).
+
+:class:`CcloKernel` holds the full server-side protocol — one-round reads
+with old-reader recording, the readers check on every PUT, the remote
+dependency check and the fault-hardened ordered-replication mode — as a pure
+state machine; :class:`CcloClientKernel` holds the client side (explicit
+nearest dependencies, one read request per involved partition).  Both emit
+:mod:`repro.core.common.kernel` effects and never import the simulator;
+drivers execute the effects against the discrete-event simulator
+(:mod:`repro.core.cclo.server` / ``client``) or asyncio
+(:mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.causal.dependencies import ClientDependencyContext
+from repro.clocks.lamport import LamportClock
+from repro.clocks.units import milliseconds
+from repro.core.cclo.readers import ReaderRecords
+from repro.core.common.kernel import (
+    Addr,
+    ClientKernel,
+    PutOutcome,
+    RotOutcome,
+    ServerAddr,
+    ServerKernel,
+    TimerSpec,
+)
+from repro.core.common.messages import (
+    CcloPutReply,
+    CcloPutRequest,
+    CcloReplicateUpdate,
+    OneRoundReadReply,
+    OneRoundReadRequest,
+    PendingRot,
+    ReadResult,
+    ReadersCheckReply,
+    ReadersCheckRequest,
+)
+from repro.errors import ProtocolError
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.version import Version
+
+PROTOCOL_NAME = "cc-lo"
+
+
+@dataclass
+class PendingCheck:
+    """State of an in-progress readers check at the writing partition."""
+
+    version: Version
+    client: Optional[Addr]
+    expected_replies: int
+    collected: dict[str, int] = field(default_factory=dict)
+    cumulative_ids: int = 0
+    partitions_contacted: int = 0
+    replicate_after: bool = True
+
+    def merge(self, old_readers: tuple[tuple[str, int], ...]) -> None:
+        self.cumulative_ids += len(old_readers)
+        for rot_id, logical_time in old_readers:
+            previous = self.collected.get(rot_id)
+            if previous is None or logical_time > previous:
+                self.collected[rot_id] = logical_time
+
+
+@dataclass
+class WaitingRemoteCheck:
+    """A remote readers-check request waiting for dependencies to be installed."""
+
+    sender: Addr
+    request: ReadersCheckRequest
+    missing: set[tuple[str, int, int]]
+
+
+@dataclass
+class WaitingLocalCheck:
+    """The local-partition leg of a readers check waiting for dependencies.
+
+    Replicated updates must not become visible before their dependencies;
+    the remote legs of the readers check enforce that with
+    ``require_present``, and in fault-hardened mode the local leg (the
+    dependencies stored on the written key's own partition) waits here under
+    the same rule.
+    """
+
+    check_id: str
+    keys: tuple[str, ...]
+    missing: set[tuple[str, int, int]]
+
+
+class CcloKernel(ServerKernel):
+    """The partition-server state machine of the latency-optimal design."""
+
+    protocol_name = PROTOCOL_NAME
+
+    def __init__(self, *, node_id: str, dc_id: int, partition_index: int,
+                 num_dcs: int, num_partitions: int, partitioner,
+                 gc_window_seconds: float, one_id_per_client: bool,
+                 max_versions_per_key: int = 32,
+                 counters=None, rot_registry=None) -> None:
+        super().__init__(node_id=node_id, dc_id=dc_id,
+                         partition_index=partition_index, num_dcs=num_dcs,
+                         num_partitions=num_partitions,
+                         partitioner=partitioner, counters=counters,
+                         rot_registry=rot_registry)
+        self.clock = LamportClock()
+        self.store = MultiVersionStore(max_versions_per_key=max_versions_per_key)
+        self.readers = ReaderRecords(gc_window_seconds=gc_window_seconds,
+                                     one_id_per_client=one_id_per_client)
+        self._gc_window = gc_window_seconds
+        self._check_ids = itertools.count()
+        self._pending_checks: dict[str, PendingCheck] = {}
+        self._waiting_remote_checks: list[WaitingRemoteCheck] = []
+        self._waiting_local_checks: list[WaitingLocalCheck] = []
+        self._ordered_replication = False
+        self._parked_finalizes: dict[tuple[str, int], list[str]] = {}
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def from_config(cls, config, dc_id: int, partition_index: int, *,
+                    partitioner, time_source=None, skew_offset_us: float = 0.0,
+                    counters=None, rot_registry=None) -> "CcloKernel":
+        """Build a kernel from a cluster configuration (duck-typed).
+
+        ``time_source`` / ``skew_offset_us`` are accepted for interface
+        uniformity with the vector kernels; CC-LO runs on a Lamport clock.
+        """
+        del time_source, skew_offset_us
+        return cls(node_id=f"server-dc{dc_id}-p{partition_index}",
+                   dc_id=dc_id, partition_index=partition_index,
+                   num_dcs=config.num_dcs,
+                   num_partitions=config.num_partitions,
+                   partitioner=partitioner,
+                   gc_window_seconds=milliseconds(config.cclo_gc_window_ms),
+                   one_id_per_client=config.cclo_one_id_per_client,
+                   max_versions_per_key=config.max_versions_per_key,
+                   counters=counters, rot_registry=rot_registry)
+
+    # ---------------------------------------------------------------- timers
+    def periodic_timers(self) -> tuple[TimerSpec, ...]:
+        return (TimerSpec(tag="cclo-gc",
+                          interval=max(self._gc_window / 2,
+                                       milliseconds(50))),)
+
+    def _handle_timer(self, tag: str, payload: Any) -> None:
+        if tag == "cclo-gc":
+            self.readers.collect_garbage(self.now)
+        else:
+            super()._handle_timer(tag, payload)
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, sender: Addr, message: object) -> None:
+        if isinstance(message, OneRoundReadRequest):
+            self._handle_read(sender, message)
+        elif isinstance(message, CcloPutRequest):
+            self._handle_put(sender, message)
+        elif isinstance(message, ReadersCheckRequest):
+            self._handle_readers_check_request(sender, message)
+        elif isinstance(message, ReadersCheckReply):
+            self._handle_readers_check_reply(message)
+        elif isinstance(message, CcloReplicateUpdate):
+            self._handle_replicated_update(message)
+        else:
+            raise ProtocolError(
+                f"{self.node_id} cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------- ROT
+    def _handle_read(self, sender: Addr, message: OneRoundReadRequest) -> None:
+        results = []
+        for key in message.keys:
+            results.append(self._read_key(key, message.rot_id, message.client_id))
+        self._send(sender, OneRoundReadReply(rot_id=message.rot_id,
+                                             results=tuple(results)))
+
+    def _read_key(self, key: str, rot_id: str, client_id: str) -> ReadResult:
+        latest_visible = self.store.latest_visible(key)
+        chosen = self.store.latest(
+            key, lambda v: v.is_visible() and not v.excludes_reader(rot_id))
+        logical_time = self.clock.tick()
+        now = self.now
+        if chosen is None:
+            # Nothing readable (should only happen for never-written keys).
+            return ReadResult(key=key, timestamp=None, origin_dc=self.dc_id,
+                              value_size=0)
+        if latest_visible is not None and chosen is latest_visible:
+            self.readers.record_current_reader(key, rot_id, client_id,
+                                               logical_time, now)
+        else:
+            # The ROT was barred from the latest version: it must also be
+            # barred from any future version depending on what it missed.
+            self.readers.record_old_reader(key, rot_id, client_id,
+                                           logical_time, now)
+        return ReadResult(key=key, timestamp=chosen.timestamp,
+                          origin_dc=chosen.origin_dc,
+                          value_size=chosen.size_bytes)
+
+    # ------------------------------------------------------------------- PUT
+    def _handle_put(self, sender: Addr, message: CcloPutRequest) -> None:
+        timestamp = self.clock.tick()
+        version = Version(key=message.key, value=None, timestamp=timestamp,
+                          origin_dc=self.dc_id, size_bytes=message.value_size,
+                          dependencies=tuple((key, ts) for key, ts, _ in
+                                             message.dependencies),
+                          dependency_origins=tuple(origin for _, _, origin in
+                                                   message.dependencies),
+                          visible=False, created_at=self.now,
+                          writer=message.client_id, sequence=message.sequence)
+        self.store.install(version)
+        self._start_readers_check(version, message.dependencies, client=sender,
+                                  replicate_after=True)
+
+    def _start_readers_check(self, version: Version,
+                             dependencies: tuple[tuple[str, int, int], ...],
+                             client: Optional[Addr],
+                             replicate_after: bool) -> None:
+        check_id = f"{self.node_id}:chk{next(self._check_ids)}"
+        pending = PendingCheck(version=version, client=client,
+                               expected_replies=0,
+                               replicate_after=replicate_after)
+        groups: dict[int, list[tuple[str, int, int]]] = {}
+        for key, ts, origin in dependencies:
+            groups.setdefault(self.partitioner.partition_of(key), []).append(
+                (key, ts, origin))
+        local_deps = groups.pop(self.partition_index, [])
+        pending.expected_replies = len(groups)
+        pending.partitions_contacted = len(groups)
+        self._pending_checks[check_id] = pending
+        if local_deps:
+            require_present = version.origin_dc != self.dc_id
+            missing = {dep for dep in local_deps
+                       if not self._dependency_present(dep)} \
+                if require_present and self._ordered_replication else set()
+            if missing:
+                # Fault-hardened mode: the local-partition leg obeys the same
+                # dependency wait the remote legs get via ``require_present``
+                # — without it a replicated update whose dependency lives on
+                # its own partition becomes visible before that dependency.
+                pending.expected_replies += 1
+                self._waiting_local_checks.append(WaitingLocalCheck(
+                    check_id=check_id,
+                    keys=tuple(key for key, _, _ in local_deps),
+                    missing=missing))
+            else:
+                pending.merge(tuple(self.readers.collect_for_response(
+                    [key for key, _, _ in local_deps], self.now)))
+        if pending.expected_replies <= 0:
+            self._finalize_check(check_id)
+            return
+        if not groups:
+            return
+        for partition_index, deps in groups.items():
+            self.counters.readers_check_messages += 1
+            self._send(ServerAddr(self.dc_id, partition_index),
+                       ReadersCheckRequest(
+                           check_id=check_id, dependencies=tuple(deps),
+                           put_key=version.key, put_timestamp=version.timestamp,
+                           require_present=version.origin_dc != self.dc_id))
+
+    def _handle_readers_check_request(self, sender: Addr,
+                                      message: ReadersCheckRequest) -> None:
+        if message.require_present:
+            missing = {dep for dep in message.dependencies
+                       if not self._dependency_present(dep)}
+            if missing:
+                self._waiting_remote_checks.append(
+                    WaitingRemoteCheck(sender=sender, request=message,
+                                       missing=missing))
+                return
+        self._reply_readers_check(sender, message)
+
+    def _dependency_present(self, dep: tuple[str, int, int]) -> bool:
+        key, timestamp, origin = dep
+        if origin == self.dc_id:
+            # Dependencies created in this DC are trivially present.
+            return True
+        return any(version.origin_dc == origin and version.timestamp >= timestamp
+                   and version.is_visible()
+                   for version in self.store.versions(key))
+
+    def _reply_readers_check(self, sender: Addr,
+                             message: ReadersCheckRequest) -> None:
+        collected = self.readers.collect_for_response(
+            [key for key, _, _ in message.dependencies], self.now)
+        self.counters.readers_check_messages += 1
+        self._send(sender, ReadersCheckReply(check_id=message.check_id,
+                                             old_readers=tuple(collected)))
+
+    def _handle_readers_check_reply(self, message: ReadersCheckReply) -> None:
+        pending = self._pending_checks.get(message.check_id)
+        if pending is None:
+            raise ProtocolError(f"unknown readers check {message.check_id}")
+        pending.merge(message.old_readers)
+        pending.expected_replies -= 1
+        if pending.expected_replies <= 0:
+            self._finalize_check(message.check_id)
+
+    def enable_ordered_replication(self) -> None:
+        """Make replicated versions of a key become visible in order.
+
+        Independent readers checks can complete out of order, letting a
+        *newer* replicated version of a key become visible while an older one
+        is still checking.  A remote dependency check satisfied by the newer
+        version then exposes versions that causally depend on the
+        still-invisible older one — a window that is sub-millisecond on a
+        healthy cluster but grows to the whole backlog-drain period after a
+        partition heals.  With ordering enabled, a replicated version whose
+        same-key same-origin predecessor is still invisible parks its
+        finalize until the predecessor completes.  The fault controller
+        enables this (like the retention policies); the healthy path keeps
+        the seed behaviour bit-for-bit.
+        """
+        self._ordered_replication = True
+
+    def _finalize_check(self, check_id: str) -> None:
+        if self._ordered_replication:
+            pending = self._pending_checks[check_id]
+            version = pending.version
+            if version.origin_dc != self.dc_id \
+                    and self._has_invisible_predecessor(version):
+                slot = (version.key, version.origin_dc)
+                parked = self._parked_finalizes.setdefault(slot, [])
+                if check_id not in parked:
+                    parked.append(check_id)
+                return
+        pending = self._pending_checks.pop(check_id)
+        version = pending.version
+        version.old_readers.update(pending.collected)
+        version.visible = True
+        self.readers.on_version_visible(version.key, self.now)
+        # Old-reader inheritance: a ROT barred from this version must also be
+        # barred from any future version that causally depends on it, so the
+        # collected ids become old readers of this key as well.
+        for rot_id, logical_time in pending.collected.items():
+            client_id = rot_id.rsplit("#", 1)[0]
+            self.readers.record_old_reader(version.key, rot_id, client_id,
+                                           logical_time, self.now)
+        self.counters.record_readers_check(
+            distinct_ids=len(pending.collected),
+            cumulative_ids=pending.cumulative_ids,
+            partitions_contacted=pending.partitions_contacted)
+        self._notify_version_visible(version)
+        if pending.client is not None:
+            self._send(pending.client, CcloPutReply(key=version.key,
+                                                    timestamp=version.timestamp))
+        if pending.replicate_after:
+            self._replicate(version)
+        if self._ordered_replication:
+            self._release_parked_finalizes(version.key, version.origin_dc)
+
+    def _has_invisible_predecessor(self, version: Version) -> bool:
+        """An older same-key same-origin version still awaiting its check."""
+        return any(other.origin_dc == version.origin_dc
+                   and other.timestamp < version.timestamp
+                   and not other.visible
+                   for other in self.store.versions(version.key))
+
+    def _release_parked_finalizes(self, key: str, origin_dc: int) -> None:
+        """Retry parked finalizes of ``key`` now a predecessor is visible."""
+        parked = self._parked_finalizes.pop((key, origin_dc), None)
+        if not parked:
+            return
+        # Oldest first, so a released version immediately unblocks the next.
+        parked.sort(key=lambda check_id:
+                    self._pending_checks[check_id].version.timestamp)
+        for check_id in parked:
+            self._finalize_check(check_id)
+
+    # ------------------------------------------------------------ replication
+    def _replicate(self, version: Version) -> None:
+        origins = version.dependency_origins or (self.dc_id,) * len(version.dependencies)
+        dependencies = tuple((key, ts, origin)
+                             for (key, ts), origin in zip(version.dependencies, origins))
+        for replica in self.replicas():
+            self.counters.replication_messages += 1
+            self.counters.dependency_entries_sent += len(dependencies)
+            self._send(replica, CcloReplicateUpdate(
+                key=version.key, timestamp=version.timestamp,
+                origin_dc=version.origin_dc, value_size=version.size_bytes,
+                dependencies=dependencies, writer=version.writer,
+                sequence=version.sequence,
+                old_readers=tuple(version.old_readers.items())))
+
+    def _handle_replicated_update(self, message: CcloReplicateUpdate) -> None:
+        self.clock.update(message.timestamp)
+        version = Version(key=message.key, value=None, timestamp=message.timestamp,
+                          origin_dc=message.origin_dc, size_bytes=message.value_size,
+                          dependencies=tuple((key, ts) for key, ts, _ in
+                                             message.dependencies),
+                          dependency_origins=tuple(origin for _, _, origin in
+                                                   message.dependencies),
+                          old_readers=dict(message.old_readers),
+                          visible=False, created_at=self.now,
+                          writer=message.writer, sequence=message.sequence)
+        self.store.install(version)
+        # The readers check is repeated in this DC, combined with the
+        # dependency check (require_present=True on the outgoing requests).
+        self._start_readers_check(version, message.dependencies, client=None,
+                                  replicate_after=False)
+
+    def _notify_version_visible(self, version: Version) -> None:
+        """Wake readers-check legs waiting on this version."""
+        del version
+        if self._waiting_remote_checks:
+            still_waiting: list[WaitingRemoteCheck] = []
+            for waiting in self._waiting_remote_checks:
+                waiting.missing = {dep for dep in waiting.missing
+                                   if not self._dependency_present(dep)}
+                if waiting.missing:
+                    still_waiting.append(waiting)
+                else:
+                    self._reply_readers_check(waiting.sender, waiting.request)
+            self._waiting_remote_checks = still_waiting
+        if self._waiting_local_checks:
+            still_local: list[WaitingLocalCheck] = []
+            released: list[WaitingLocalCheck] = []
+            for waiting in self._waiting_local_checks:
+                waiting.missing = {dep for dep in waiting.missing
+                                   if not self._dependency_present(dep)}
+                if waiting.missing:
+                    still_local.append(waiting)
+                else:
+                    released.append(waiting)
+            self._waiting_local_checks = still_local
+            for waiting in released:
+                pending = self._pending_checks.get(waiting.check_id)
+                if pending is None:
+                    continue
+                pending.merge(tuple(self.readers.collect_for_response(
+                    list(waiting.keys), self.now)))
+                pending.expected_replies -= 1
+                if pending.expected_replies <= 0:
+                    self._finalize_check(waiting.check_id)
+
+
+# --------------------------------------------------------------------------
+# Client kernel
+# --------------------------------------------------------------------------
+
+
+class CcloClientKernel(ClientKernel):
+    """The client state machine of the latency-optimal protocol.
+
+    ROTs are a single round (one read request per involved partition); PUTs
+    carry the client's accumulated nearest dependencies — exactly what the
+    writing partition needs to run the readers check.
+    """
+
+    def __init__(self, *, client_id: str, dc_id: int, partitioner,
+                 rot_registry=None) -> None:
+        super().__init__(client_id=client_id, dc_id=dc_id,
+                         partitioner=partitioner, rot_registry=rot_registry)
+        self.dep_context = ClientDependencyContext()
+        self._pending_rot: Optional[PendingRot] = None
+
+    @classmethod
+    def from_config(cls, config, client_id: str, dc_id: int, *,
+                    partitioner, rng=None, rot_registry=None) -> "CcloClientKernel":
+        """Factory with the same signature as the vector client kernels."""
+        del config, rng
+        return cls(client_id=client_id, dc_id=dc_id, partitioner=partitioner,
+                   rot_registry=rot_registry)
+
+    # ------------------------------------------------------------------- ROT
+    def _issue_rot(self, operation) -> None:
+        rot_id = self.next_rot_id()
+        groups = self.partitioner.group_by_partition(list(operation.keys))
+        self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
+                                       started_at=self.now,
+                                       expected_replies=len(groups))
+        registry = self.rot_registry()
+        if registry is not None:
+            # Fault runs track in-flight ROTs so version GC never evicts the
+            # versions an old-reader-barred ROT must fall back to.
+            registry.register(self.dc_id, rot_id)
+        for partition_index, keys in groups.items():
+            self._send(ServerAddr(self.dc_id, partition_index),
+                       OneRoundReadRequest(rot_id=rot_id, keys=tuple(keys),
+                                           client_id=self.client_id))
+
+    def _handle_read_reply(self, message: OneRoundReadReply) -> None:
+        pending = self._pending_rot
+        if pending is None or pending.rot_id != message.rot_id:
+            raise ProtocolError(
+                f"{self.client_id} received a reply for unknown ROT "
+                f"{message.rot_id}")
+        pending.record_reply(message.results)
+        if not pending.complete:
+            return
+        self._pending_rot = None
+        registry = self.rot_registry()
+        if registry is not None:
+            registry.deregister(self.dc_id, message.rot_id)
+        for result in pending.results.values():
+            if result.timestamp is not None:
+                partition = self.partitioner.partition_of(result.key)
+                self.dep_context.observe_read(result.key, result.timestamp,
+                                              partition, result.origin_dc)
+        self._complete("rot", RotOutcome(rot_id=message.rot_id,
+                                         results=pending.results))
+
+    # ------------------------------------------------------------------- PUT
+    def _issue_put(self, operation) -> None:
+        key = operation.keys[0]
+        dependencies = tuple(dep.as_triple()
+                             for dep in self.dep_context.dependencies())
+        request = CcloPutRequest(
+            key=key, value_size=operation.value_size,
+            dependencies=dependencies,
+            dependency_partitions=self.dep_context.dependency_partitions(),
+            client_id=self.client_id, sequence=self.sequence)
+        self._send(ServerAddr(self.dc_id, self.partitioner.partition_of(key)),
+                   request)
+
+    def _handle_put_reply(self, message: CcloPutReply) -> None:
+        # Snapshot the causal context *before* the PUT subsumes it — the
+        # checker records the PUT against the context it was issued under.
+        dependencies = self.checker_dependencies()
+        partition = self.partitioner.partition_of(message.key)
+        self.dep_context.observe_write(message.key, message.timestamp,
+                                       partition, self.dc_id)
+        self._complete("put", PutOutcome(key=message.key,
+                                         timestamp=message.timestamp,
+                                         origin_dc=self.dc_id,
+                                         dependencies=dependencies))
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, message: object) -> None:
+        if isinstance(message, OneRoundReadReply):
+            self._handle_read_reply(message)
+        elif isinstance(message, CcloPutReply):
+            self._handle_put_reply(message)
+        else:
+            raise ProtocolError(
+                f"{self.client_id} cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------ misc
+    def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
+        return tuple(dep.as_triple() for dep in self.dep_context.dependencies())
+
+
+__all__ = [
+    "CcloClientKernel",
+    "CcloKernel",
+    "PROTOCOL_NAME",
+    "PendingCheck",
+    "WaitingLocalCheck",
+    "WaitingRemoteCheck",
+]

@@ -1,123 +1,79 @@
-"""Partition server of CC-LO (the COPS-SNOW design).
+"""Simulated driver of the CC-LO (COPS-SNOW) partition server.
 
-The ROT path is latency-optimal: one round, one version, nonblocking.  The
-PUT path carries the cost: before a new version becomes visible (and before
-the client's PUT is acknowledged), the writing partition performs the
-*readers check* — it asks every partition storing one of the PUT's causal
-dependencies for the old readers of those keys, merges the returned ROT ids
-into the version's old-reader record, and only then installs the version as
-visible.  The same check is repeated in every remote DC when the update is
-replicated, combined with the dependency check (the reply to a remote
-readers-check request is delayed until the listed dependencies are installed
-locally).
+The readers check, the dependency check and the old-reader records live in
+the sans-I/O :class:`~repro.core.cclo.kernel.CcloKernel`; this driver binds
+one kernel to the discrete-event simulator and keeps the cost-model
+accounting — including the per-ROT-id readers-check cost that is the paper's
+central overhead.  State the tests and the fault controller inspect
+(``clock``, ``readers``, the waiting-check queues) is surfaced from the
+kernel as properties.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from repro.clocks.lamport import LamportClock
-from repro.core.cclo.readers import ReaderRecords
+from repro.core.cclo.kernel import CcloKernel, PendingCheck
 from repro.core.common.messages import (
-    CcloPutReply,
     CcloPutRequest,
     CcloReplicateUpdate,
-    OneRoundReadReply,
     OneRoundReadRequest,
-    ReadResult,
     ReadersCheckReply,
     ReadersCheckRequest,
 )
 from repro.core.common.server import PartitionServer
-from repro.errors import ProtocolError
-from repro.sim.engine import PeriodicTask, milliseconds
-from repro.storage.version import Version
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.topology import ClusterTopology
-    from repro.sim.node import Node
+    from repro.core.cclo.readers import ReaderRecords
 
 PROTOCOL_NAME = "cc-lo"
-
-
-@dataclass
-class PendingCheck:
-    """State of an in-progress readers check at the writing partition."""
-
-    version: Version
-    client: Optional["Node"]
-    expected_replies: int
-    collected: dict[str, int] = field(default_factory=dict)
-    cumulative_ids: int = 0
-    partitions_contacted: int = 0
-    replicate_after: bool = True
-
-    def merge(self, old_readers: tuple[tuple[str, int], ...]) -> None:
-        self.cumulative_ids += len(old_readers)
-        for rot_id, logical_time in old_readers:
-            previous = self.collected.get(rot_id)
-            if previous is None or logical_time > previous:
-                self.collected[rot_id] = logical_time
-
-
-@dataclass
-class WaitingRemoteCheck:
-    """A remote readers-check request waiting for dependencies to be installed."""
-
-    sender: "Node"
-    request: ReadersCheckRequest
-    missing: set[tuple[str, int, int]]
-
-
-@dataclass
-class WaitingLocalCheck:
-    """The local-partition leg of a readers check waiting for dependencies.
-
-    Replicated updates must not become visible before their dependencies;
-    the remote legs of the readers check enforce that with
-    ``require_present``, and in fault-hardened mode the local leg (the
-    dependencies stored on the written key's own partition) waits here under
-    the same rule.
-    """
-
-    check_id: str
-    keys: tuple[str, ...]
-    missing: set[tuple[str, int, int]]
 
 
 class CcloServer(PartitionServer):
     """A partition server running the latency-optimal (COPS-SNOW) design."""
 
+    kernel_class: type[CcloKernel] = CcloKernel
+
     def __init__(self, topology: "ClusterTopology", dc_id: int,
                  partition_index: int) -> None:
         super().__init__(topology, dc_id, partition_index)
-        self.clock = LamportClock()
-        config = topology.config
-        self.readers = ReaderRecords(
-            gc_window_seconds=milliseconds(config.cclo_gc_window_ms),
-            one_id_per_client=config.cclo_one_id_per_client)
-        self._check_ids = itertools.count()
-        self._pending_checks: dict[str, PendingCheck] = {}
-        self._waiting_remote_checks: list[WaitingRemoteCheck] = []
-        self._waiting_local_checks: list[WaitingLocalCheck] = []
-        self._gc_task: Optional[PeriodicTask] = None
-        self._ordered_replication = False
-        self._parked_finalizes: dict[tuple[str, int], list[str]] = {}
+        self.attach_kernel(self.kernel_class.from_config(
+            topology.config, dc_id, partition_index,
+            partitioner=topology.partitioner,
+            rot_registry=lambda: topology.rot_registry))
 
-    # ------------------------------------------------------------------ start
-    def start(self) -> None:
-        """Start the periodic reader-record garbage collection."""
-        window = milliseconds(self.config.cclo_gc_window_ms)
-        self._gc_task = PeriodicTask(self.sim, max(window / 2, milliseconds(50)),
-                                     lambda: self.readers.collect_garbage(self.sim.now),
-                                     label="cclo-gc")
+    # --------------------------------------------------------- kernel state
+    @property
+    def clock(self):
+        """The kernel's Lamport clock."""
+        return self.kernel.clock
 
-    def stop_background_tasks(self) -> None:
-        """Cancel periodic tasks (lets the event queue drain at run end)."""
-        if self._gc_task is not None:
-            self._gc_task.cancel()
+    @property
+    def protocol_name(self) -> str:
+        return self.kernel.protocol_name
+
+    @property
+    def readers(self) -> "ReaderRecords":
+        """The kernel's old/current-reader records."""
+        return self.kernel.readers
+
+    @property
+    def _pending_checks(self) -> dict[str, PendingCheck]:
+        return self.kernel._pending_checks
+
+    @property
+    def _waiting_remote_checks(self):
+        return self.kernel._waiting_remote_checks
+
+    @property
+    def _waiting_local_checks(self):
+        return self.kernel._waiting_local_checks
+
+    def enable_ordered_replication(self) -> None:
+        """Forwarded to the kernel; see
+        :meth:`repro.core.cclo.kernel.CcloKernel.enable_ordered_replication`."""
+        self.kernel.enable_ordered_replication()
 
     # ------------------------------------------------------------------ costs
     def message_cost(self, message: object) -> float:
@@ -148,287 +104,6 @@ class CcloServer(PartitionServer):
             if version is not None:
                 return version.size_bytes
         return 0
-
-    # --------------------------------------------------------------- dispatch
-    def handle_message(self, sender: "Node", message: object) -> None:
-        if isinstance(message, OneRoundReadRequest):
-            self._handle_read(sender, message)
-        elif isinstance(message, CcloPutRequest):
-            self._handle_put(sender, message)
-        elif isinstance(message, ReadersCheckRequest):
-            self._handle_readers_check_request(sender, message)
-        elif isinstance(message, ReadersCheckReply):
-            self._handle_readers_check_reply(message)
-        elif isinstance(message, CcloReplicateUpdate):
-            self._handle_replicated_update(message)
-        else:
-            raise ProtocolError(f"{self.node_id} cannot handle {type(message).__name__}")
-
-    # ------------------------------------------------------------------- ROT
-    def _handle_read(self, sender: "Node", message: OneRoundReadRequest) -> None:
-        results = []
-        for key in message.keys:
-            results.append(self._read_key(key, message.rot_id, message.client_id))
-        self.send(sender, OneRoundReadReply(rot_id=message.rot_id,
-                                            results=tuple(results)))
-
-    def _read_key(self, key: str, rot_id: str, client_id: str) -> ReadResult:
-        latest_visible = self.store.latest_visible(key)
-        chosen = self.store.latest(
-            key, lambda v: v.is_visible() and not v.excludes_reader(rot_id))
-        logical_time = self.clock.tick()
-        now = self.sim.now
-        if chosen is None:
-            # Nothing readable (should only happen for never-written keys).
-            return ReadResult(key=key, timestamp=None, origin_dc=self.dc_id,
-                              value_size=0)
-        if latest_visible is not None and chosen is latest_visible:
-            self.readers.record_current_reader(key, rot_id, client_id,
-                                               logical_time, now)
-        else:
-            # The ROT was barred from the latest version: it must also be
-            # barred from any future version depending on what it missed.
-            self.readers.record_old_reader(key, rot_id, client_id,
-                                           logical_time, now)
-        return ReadResult(key=key, timestamp=chosen.timestamp,
-                          origin_dc=chosen.origin_dc,
-                          value_size=chosen.size_bytes)
-
-    # ------------------------------------------------------------------- PUT
-    def _handle_put(self, sender: "Node", message: CcloPutRequest) -> None:
-        timestamp = self.clock.tick()
-        version = Version(key=message.key, value=None, timestamp=timestamp,
-                          origin_dc=self.dc_id, size_bytes=message.value_size,
-                          dependencies=tuple((key, ts) for key, ts, _ in
-                                             message.dependencies),
-                          dependency_origins=tuple(origin for _, _, origin in
-                                                   message.dependencies),
-                          visible=False, created_at=self.sim.now,
-                          writer=message.client_id, sequence=message.sequence)
-        self.store.install(version)
-        self._start_readers_check(version, message.dependencies, client=sender,
-                                  replicate_after=True)
-
-    def _start_readers_check(self, version: Version,
-                             dependencies: tuple[tuple[str, int, int], ...],
-                             client: Optional["Node"],
-                             replicate_after: bool) -> None:
-        check_id = f"{self.node_id}:chk{next(self._check_ids)}"
-        pending = PendingCheck(version=version, client=client,
-                               expected_replies=0,
-                               replicate_after=replicate_after)
-        groups: dict[int, list[tuple[str, int, int]]] = {}
-        for key, ts, origin in dependencies:
-            groups.setdefault(self.partitioner.partition_of(key), []).append(
-                (key, ts, origin))
-        local_deps = groups.pop(self.partition_index, [])
-        pending.expected_replies = len(groups)
-        pending.partitions_contacted = len(groups)
-        self._pending_checks[check_id] = pending
-        if local_deps:
-            require_present = version.origin_dc != self.dc_id
-            missing = {dep for dep in local_deps
-                       if not self._dependency_present(dep)} \
-                if require_present and self._ordered_replication else set()
-            if missing:
-                # Fault-hardened mode: the local-partition leg obeys the same
-                # dependency wait the remote legs get via ``require_present``
-                # — without it a replicated update whose dependency lives on
-                # its own partition becomes visible before that dependency.
-                pending.expected_replies += 1
-                self._waiting_local_checks.append(WaitingLocalCheck(
-                    check_id=check_id,
-                    keys=tuple(key for key, _, _ in local_deps),
-                    missing=missing))
-            else:
-                pending.merge(tuple(self.readers.collect_for_response(
-                    [key for key, _, _ in local_deps], self.sim.now)))
-        if pending.expected_replies <= 0:
-            self._finalize_check(check_id)
-            return
-        if not groups:
-            return
-        for partition_index, deps in groups.items():
-            target = self.topology.server(self.dc_id, partition_index)
-            self.counters.readers_check_messages += 1
-            self.send(target, ReadersCheckRequest(
-                check_id=check_id, dependencies=tuple(deps),
-                put_key=version.key, put_timestamp=version.timestamp,
-                require_present=version.origin_dc != self.dc_id))
-
-    def _handle_readers_check_request(self, sender: "Node",
-                                      message: ReadersCheckRequest) -> None:
-        if message.require_present:
-            missing = {dep for dep in message.dependencies
-                       if not self._dependency_present(dep)}
-            if missing:
-                self._waiting_remote_checks.append(
-                    WaitingRemoteCheck(sender=sender, request=message,
-                                       missing=missing))
-                return
-        self._reply_readers_check(sender, message)
-
-    def _dependency_present(self, dep: tuple[str, int, int]) -> bool:
-        key, timestamp, origin = dep
-        if origin == self.dc_id:
-            # Dependencies created in this DC are trivially present.
-            return True
-        return any(version.origin_dc == origin and version.timestamp >= timestamp
-                   and version.is_visible()
-                   for version in self.store.versions(key))
-
-    def _reply_readers_check(self, sender: "Node",
-                             message: ReadersCheckRequest) -> None:
-        collected = self.readers.collect_for_response(
-            [key for key, _, _ in message.dependencies], self.sim.now)
-        self.counters.readers_check_messages += 1
-        self.send(sender, ReadersCheckReply(check_id=message.check_id,
-                                            old_readers=tuple(collected)))
-
-    def _handle_readers_check_reply(self, message: ReadersCheckReply) -> None:
-        pending = self._pending_checks.get(message.check_id)
-        if pending is None:
-            raise ProtocolError(f"unknown readers check {message.check_id}")
-        pending.merge(message.old_readers)
-        pending.expected_replies -= 1
-        if pending.expected_replies <= 0:
-            self._finalize_check(message.check_id)
-
-    def enable_ordered_replication(self) -> None:
-        """Make replicated versions of a key become visible in order.
-
-        Independent readers checks can complete out of order, letting a
-        *newer* replicated version of a key become visible while an older one
-        is still checking.  A remote dependency check satisfied by the newer
-        version then exposes versions that causally depend on the
-        still-invisible older one — a window that is sub-millisecond on a
-        healthy cluster but grows to the whole backlog-drain period after a
-        partition heals.  With ordering enabled, a replicated version whose
-        same-key same-origin predecessor is still invisible parks its
-        finalize until the predecessor completes.  The fault controller
-        enables this (like the retention policies); the healthy path keeps
-        the seed behaviour bit-for-bit.
-        """
-        self._ordered_replication = True
-
-    def _finalize_check(self, check_id: str) -> None:
-        if self._ordered_replication:
-            pending = self._pending_checks[check_id]
-            version = pending.version
-            if version.origin_dc != self.dc_id \
-                    and self._has_invisible_predecessor(version):
-                slot = (version.key, version.origin_dc)
-                parked = self._parked_finalizes.setdefault(slot, [])
-                if check_id not in parked:
-                    parked.append(check_id)
-                return
-        pending = self._pending_checks.pop(check_id)
-        version = pending.version
-        version.old_readers.update(pending.collected)
-        version.visible = True
-        self.readers.on_version_visible(version.key, self.sim.now)
-        # Old-reader inheritance: a ROT barred from this version must also be
-        # barred from any future version that causally depends on it, so the
-        # collected ids become old readers of this key as well.
-        for rot_id, logical_time in pending.collected.items():
-            client_id = rot_id.rsplit("#", 1)[0]
-            self.readers.record_old_reader(version.key, rot_id, client_id,
-                                           logical_time, self.sim.now)
-        self.counters.record_readers_check(
-            distinct_ids=len(pending.collected),
-            cumulative_ids=pending.cumulative_ids,
-            partitions_contacted=pending.partitions_contacted)
-        self._notify_version_visible(version)
-        if pending.client is not None:
-            self.send(pending.client, CcloPutReply(key=version.key,
-                                                   timestamp=version.timestamp))
-        if pending.replicate_after:
-            self._replicate(version)
-        if self._ordered_replication:
-            self._release_parked_finalizes(version.key, version.origin_dc)
-
-    def _has_invisible_predecessor(self, version: Version) -> bool:
-        """An older same-key same-origin version still awaiting its check."""
-        return any(other.origin_dc == version.origin_dc
-                   and other.timestamp < version.timestamp
-                   and not other.visible
-                   for other in self.store.versions(version.key))
-
-    def _release_parked_finalizes(self, key: str, origin_dc: int) -> None:
-        """Retry parked finalizes of ``key`` now a predecessor is visible."""
-        parked = self._parked_finalizes.pop((key, origin_dc), None)
-        if not parked:
-            return
-        # Oldest first, so a released version immediately unblocks the next.
-        parked.sort(key=lambda check_id:
-                    self._pending_checks[check_id].version.timestamp)
-        for check_id in parked:
-            self._finalize_check(check_id)
-
-    # ------------------------------------------------------------ replication
-    def _replicate(self, version: Version) -> None:
-        origins = version.dependency_origins or (self.dc_id,) * len(version.dependencies)
-        dependencies = tuple((key, ts, origin)
-                             for (key, ts), origin in zip(version.dependencies, origins))
-        for replica in self.replicas():
-            self.counters.replication_messages += 1
-            self.counters.dependency_entries_sent += len(dependencies)
-            self.send(replica, CcloReplicateUpdate(
-                key=version.key, timestamp=version.timestamp,
-                origin_dc=version.origin_dc, value_size=version.size_bytes,
-                dependencies=dependencies, writer=version.writer,
-                sequence=version.sequence,
-                old_readers=tuple(version.old_readers.items())))
-
-    def _handle_replicated_update(self, message: CcloReplicateUpdate) -> None:
-        self.clock.update(message.timestamp)
-        version = Version(key=message.key, value=None, timestamp=message.timestamp,
-                          origin_dc=message.origin_dc, size_bytes=message.value_size,
-                          dependencies=tuple((key, ts) for key, ts, _ in
-                                             message.dependencies),
-                          dependency_origins=tuple(origin for _, _, origin in
-                                                   message.dependencies),
-                          old_readers=dict(message.old_readers),
-                          visible=False, created_at=self.sim.now,
-                          writer=message.writer, sequence=message.sequence)
-        self.store.install(version)
-        # The readers check is repeated in this DC, combined with the
-        # dependency check (require_present=True on the outgoing requests).
-        self._start_readers_check(version, message.dependencies, client=None,
-                                  replicate_after=False)
-
-    def _notify_version_visible(self, version: Version) -> None:
-        """Wake readers-check legs waiting on this version."""
-        if self._waiting_remote_checks:
-            still_waiting: list[WaitingRemoteCheck] = []
-            for waiting in self._waiting_remote_checks:
-                waiting.missing = {dep for dep in waiting.missing
-                                   if not self._dependency_present(dep)}
-                if waiting.missing:
-                    still_waiting.append(waiting)
-                else:
-                    self._reply_readers_check(waiting.sender, waiting.request)
-            self._waiting_remote_checks = still_waiting
-        if self._waiting_local_checks:
-            still_local: list[WaitingLocalCheck] = []
-            released: list[WaitingLocalCheck] = []
-            for waiting in self._waiting_local_checks:
-                waiting.missing = {dep for dep in waiting.missing
-                                   if not self._dependency_present(dep)}
-                if waiting.missing:
-                    still_local.append(waiting)
-                else:
-                    released.append(waiting)
-            self._waiting_local_checks = still_local
-            for waiting in released:
-                pending = self._pending_checks.get(waiting.check_id)
-                if pending is None:
-                    continue
-                pending.merge(tuple(self.readers.collect_for_response(
-                    list(waiting.keys), self.sim.now)))
-                pending.expected_replies -= 1
-                if pending.expected_replies <= 0:
-                    self._finalize_check(waiting.check_id)
 
 
 __all__ = ["CcloServer", "PendingCheck", "PROTOCOL_NAME"]

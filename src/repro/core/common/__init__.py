@@ -1,6 +1,25 @@
-"""Machinery shared by all protocol implementations."""
+"""Machinery shared by all protocol implementations.
 
-from repro.core.common.client import BaseClient
-from repro.core.common.server import PartitionServer
+:mod:`repro.core.common.kernel` defines the sans-I/O side (effects,
+addresses, kernel base classes); :mod:`repro.core.common.messages` the wire
+messages both backends exchange; ``server``/``client`` the simulated
+drivers.  Exports resolve lazily so kernel imports stay simulator-free.
+"""
 
-__all__ = ["BaseClient", "PartitionServer"]
+from repro._lazy import make_lazy
+
+_EXPORTS = {
+    "BaseClient": "repro.core.common.client",
+    "ClientAddr": "repro.core.common.kernel",
+    "ClientKernel": "repro.core.common.kernel",
+    "Complete": "repro.core.common.kernel",
+    "PartitionServer": "repro.core.common.server",
+    "Send": "repro.core.common.kernel",
+    "ServerAddr": "repro.core.common.kernel",
+    "ServerKernel": "repro.core.common.kernel",
+    "SetTimer": "repro.core.common.kernel",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

@@ -1,4 +1,4 @@
-"""Closed-loop client driver.
+"""Simulated driver for the client kernels (closed-loop load generation).
 
 The paper's load generator spawns client threads that issue operations in a
 closed loop: each client has at most one outstanding operation and issues the
@@ -6,9 +6,13 @@ next one as soon as the previous one completes.  Load is varied by changing
 the number of clients, which is exactly how the throughput-versus-latency
 curves of Figures 4–9 are produced.
 
-The base client implements the loop, the metric recording and the optional
-history recording for the causal-consistency checker; protocol subclasses
-implement ``issue_put`` and ``issue_rot``.
+The protocol exchange itself lives in a sans-I/O client kernel
+(:class:`repro.core.common.kernel.ClientKernel` subclasses); this driver owns
+the closed loop, the metric recording and the optional history recording for
+the causal-consistency checker, and executes the kernel's effects against
+the simulated network.  A :class:`~repro.core.common.kernel.Complete` effect
+carries the finished operation (including the causal-context snapshot the
+checker must record), upon which the driver issues the next one.
 """
 
 from __future__ import annotations
@@ -22,7 +26,18 @@ from repro.causal.checker import (
     RecordedRead,
     RecordedRot,
 )
+from repro.core.common.kernel import (
+    Addr,
+    ClientKernel,
+    Complete,
+    Effect,
+    PutOutcome,
+    RotOutcome,
+    Send,
+    ServerAddr,
+)
 from repro.core.common.messages import ReadResult
+from repro.errors import ProtocolError
 from repro.metrics.collectors import MetricsRegistry
 from repro.sim.node import Node
 from repro.workload.generator import Operation, WorkloadGenerator
@@ -32,7 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class BaseClient(Node):
-    """A closed-loop client bound to one data center."""
+    """A closed-loop client bound to one data center.
+
+    Subclasses construct their protocol kernel and hand it to
+    :meth:`attach_kernel`.
+    """
 
     def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
                  generator: WorkloadGenerator, metrics: MetricsRegistry,
@@ -46,7 +65,11 @@ class BaseClient(Node):
         self.generator = generator
         self.metrics = metrics
         self.checker = checker
+        #: Shared with the kernel: the driver draws the start-time jitter,
+        #: the kernel draws coordinator choices — in the original interleaved
+        #: order, which keeps runs bit-identical.
         self.rng = random.Random(f"{topology.sim.seed}:client:{dc_id}:{client_index}")
+        self.kernel: Optional[ClientKernel] = None
         self.sequence = 0
         self._running = False
         self._op_started_at = 0.0
@@ -55,6 +78,10 @@ class BaseClient(Node):
         # issuing after its in-flight operation completes; resume restarts it.
         self._suspended = False
         self._idle = False
+
+    def attach_kernel(self, kernel: ClientKernel) -> None:
+        """Bind the protocol kernel this driver executes."""
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ loop
     def start(self) -> None:
@@ -108,20 +135,49 @@ class BaseClient(Node):
         else:
             self.issue_rot(operation)
 
+    # --------------------------------------------------------------- effects
+    def resolve(self, addr: Addr) -> Node:
+        """Resolve an abstract kernel address to the simulated node."""
+        if isinstance(addr, ServerAddr):
+            return self.topology.server(addr.dc, addr.partition)
+        raise ProtocolError(f"{self.node_id} cannot resolve address {addr!r}")
+
+    def execute_effects(self, effects: list[Effect]) -> None:
+        """Run the kernel's effects, in order, against the simulator."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.send(self.resolve(effect.dest), effect.message)
+            elif isinstance(effect, Complete):
+                result = effect.result
+                if effect.op == "put":
+                    assert isinstance(result, PutOutcome)
+                    self.complete_put(result.key, result.timestamp,
+                                      result.origin_dc, result.dependencies)
+                else:
+                    assert isinstance(result, RotOutcome)
+                    self.complete_rot(result.rot_id, result.results)
+            else:
+                raise ProtocolError(
+                    f"{self.node_id} cannot execute effect {effect!r}")
+
     # --------------------------------------------------------------- complete
-    def complete_put(self, key: str, timestamp: int, origin_dc: int) -> None:
-        """Called by the protocol when the in-flight PUT finished."""
+    def complete_put(self, key: str, timestamp: int, origin_dc: int,
+                     dependencies: tuple[tuple[str, int, int], ...] = ()) -> None:
+        """Record the finished PUT and re-enter the closed loop.
+
+        ``dependencies`` is the kernel's causal-context snapshot from *before*
+        the PUT subsumed it — the context the checker must attribute to it.
+        """
         self.metrics.record_put(self._op_started_at, self.sim.now)
         if self.checker is not None:
             self.checker.record_put(RecordedPut(
                 key=key, timestamp=timestamp, origin_dc=origin_dc,
                 client=self.node_id, sequence=self.sequence,
-                dependencies=self.checker_dependencies()))
-        self.after_put(key, timestamp, origin_dc)
+                dependencies=dependencies))
         self._issue_next()
 
     def complete_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
-        """Called by the protocol when the in-flight ROT finished."""
+        """Record the finished ROT and re-enter the closed loop."""
         self.metrics.record_rot(self._op_started_at, self.sim.now)
         if self.checker is not None:
             reads = tuple(RecordedRead(key=result.key, timestamp=result.timestamp,
@@ -130,42 +186,33 @@ class BaseClient(Node):
             self.checker.record_rot(RecordedRot(
                 rot_id=rot_id, client=self.node_id,
                 sequence=self.sequence, reads=reads))
-        self.after_rot(rot_id, results)
         self._issue_next()
 
     # ------------------------------------------------------------------ hooks
     def issue_put(self, operation: Operation) -> None:
-        """Send the protocol's PUT request; subclasses must override."""
-        raise NotImplementedError
+        """Issue the protocol's PUT through the kernel."""
+        self.execute_effects(self.kernel.start_operation(
+            operation, self.sequence, self.sim.now))
 
     def issue_rot(self, operation: Operation) -> None:
-        """Send the protocol's ROT request(s); subclasses must override."""
-        raise NotImplementedError
-
-    def after_put(self, key: str, timestamp: int, origin_dc: int) -> None:
-        """Protocol-specific bookkeeping after a PUT completes (optional)."""
-
-    def after_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
-        """Protocol-specific bookkeeping after a ROT completes (optional)."""
+        """Issue the protocol's ROT(s) through the kernel."""
+        self.execute_effects(self.kernel.start_operation(
+            operation, self.sequence, self.sim.now))
 
     def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
-        """The causal context recorded with PUTs for the history checker.
-
-        Subclasses return the ``(key, timestamp, origin_dc)`` triples the
-        client has observed; the default (no dependencies) is only appropriate
-        for clients that never read.
-        """
-        return ()
+        """The kernel's current causal context (diagnostics)."""
+        return self.kernel.checker_dependencies()
 
     # ------------------------------------------------------------------ misc
+    def handle_message(self, sender: Node, message: object) -> None:
+        """Feed a reply to the kernel and execute its effects."""
+        del sender
+        self.execute_effects(self.kernel.on_message(message, self.sim.now))
+
     def service_time(self, message: object) -> float:
         """Clients pay a token CPU cost; they are never the bottleneck."""
         del message
         return self.config.cost_model.client_cost()
-
-    def next_rot_id(self) -> str:
-        """A globally unique ROT identifier (client id + sequence number)."""
-        return f"{self.node_id}#{self.sequence}"
 
     def send(self, destination: Node, message: object) -> None:
         """Send a message through the simulated network."""

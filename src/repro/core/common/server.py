@@ -1,19 +1,40 @@
-"""Base class for partition servers.
+"""Simulated driver for the partition-server kernels.
 
-A partition server is a simulated node that stores one shard of the keyspace
-in one data center.  The base class wires together the pieces every protocol
-needs — the multi-version store, the overhead counters, the cost-model-driven
-``service_time`` and a ``send`` helper that goes through the simulated
-network — and leaves the protocol logic (``handle_message`` and
-``message_cost``) to the concrete implementations.
+The protocol logic lives in the sans-I/O kernels
+(:mod:`repro.core.common.kernel` and the per-protocol kernel modules); a
+:class:`PartitionServer` is the *driver* that welds one kernel onto the
+discrete-event simulator.  It is a simulated node with a FIFO CPU queue that
+
+* feeds every delivered message into ``kernel.on_message`` and executes the
+  returned effects in order (sends go through the simulated network, timers
+  become simulator events);
+* runs the kernel's periodic timers as :class:`~repro.sim.engine.PeriodicTask`
+  instances;
+* charges each message the cost-model-driven ``service_time``.
+
+Effects are executed strictly in emission order, which keeps kernel-driven
+runs bit-identical to the pre-kernel implementation.  Protocol state (store,
+clock, GSS, reader records) is owned by the kernel; the driver exposes the
+common pieces as properties for inspection by tests, the fault controller
+and the harness.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.config import ClusterConfig
-from repro.sim.costs import OverheadCounters
+from repro.core.common.kernel import (
+    Addr,
+    ClientAddr,
+    Effect,
+    Send,
+    ServerAddr,
+    ServerKernel,
+    SetTimer,
+)
+from repro.errors import ProtocolError
+from repro.sim.engine import PeriodicTask
 from repro.sim.node import Node
 from repro.storage.mvstore import MultiVersionStore
 
@@ -22,7 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class PartitionServer(Node):
-    """Common state and helpers of every partition server."""
+    """Common driver machinery of every simulated partition server.
+
+    Subclasses construct their protocol kernel and hand it to
+    :meth:`attach_kernel`; the base class implements message dispatch,
+    effect execution and timer plumbing.
+    """
 
     def __init__(self, topology: "ClusterTopology", dc_id: int,
                  partition_index: int) -> None:
@@ -35,9 +61,24 @@ class PartitionServer(Node):
         self.config = config
         self.partition_index = partition_index
         self.cost_model = config.cost_model
-        self.store = MultiVersionStore(max_versions_per_key=config.max_versions_per_key)
-        self.counters = OverheadCounters()
         self.partitioner = topology.partitioner
+        self.kernel: Optional[ServerKernel] = None
+        self._periodic_tasks: list[PeriodicTask] = []
+
+    def attach_kernel(self, kernel: ServerKernel) -> None:
+        """Bind the protocol kernel this driver executes."""
+        self.kernel = kernel
+
+    # --------------------------------------------------------- kernel state
+    @property
+    def store(self) -> MultiVersionStore:
+        """The kernel-owned multi-version store (inspection/preload)."""
+        return self.kernel.store
+
+    @property
+    def counters(self):
+        """The kernel-owned overhead counters."""
+        return self.kernel.counters
 
     # ------------------------------------------------------------------ wires
     def send(self, destination: Node, message: object) -> None:
@@ -47,6 +88,39 @@ class PartitionServer(Node):
         if callable(size_fn):
             self.counters.bytes_sent += int(size_fn())
         self.topology.network.send(self, destination, message)
+
+    def resolve(self, addr: Addr) -> Node:
+        """Resolve an abstract kernel address to the simulated node."""
+        if isinstance(addr, ServerAddr):
+            return self.topology.server(addr.dc, addr.partition)
+        if isinstance(addr, ClientAddr):
+            return self.topology.client_by_id(addr.client_id)
+        raise ProtocolError(f"{self.node_id} cannot resolve address {addr!r}")
+
+    def address_of(self, node: Node) -> Addr:
+        """The abstract address of a simulated node (for kernel input)."""
+        partition = getattr(node, "partition_index", None)
+        if partition is not None:
+            return ServerAddr(node.dc_id, partition)
+        return ClientAddr(node.node_id)
+
+    def execute_effects(self, effects: list[Effect]) -> None:
+        """Run the kernel's effects, in order, against the simulator."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.send(self.resolve(effect.dest), effect.message)
+            elif isinstance(effect, SetTimer):
+                tag, payload = effect.tag, effect.payload
+                self.sim.schedule(effect.delay,
+                                  lambda tag=tag, payload=payload:
+                                  self._fire_timer(tag, payload),
+                                  label=tag)
+            else:
+                raise ProtocolError(
+                    f"{self.node_id} cannot execute effect {effect!r}")
+
+    def _fire_timer(self, tag: str, payload: object = None) -> None:
+        self.execute_effects(self.kernel.on_timer(tag, payload, self.sim.now))
 
     def peers_in_dc(self) -> list["PartitionServer"]:
         """The other partition servers in this server's DC."""
@@ -58,6 +132,11 @@ class PartitionServer(Node):
         return self.topology.replicas_of(self.dc_id, self.partition_index)
 
     # ------------------------------------------------------------------ hooks
+    def handle_message(self, sender: Node, message: object) -> None:
+        """Feed the message to the kernel and execute its effects."""
+        self.execute_effects(self.kernel.on_message(
+            self.address_of(sender), message, self.sim.now))
+
     def service_time(self, message: object) -> float:
         """Charge the CPU for ``message`` according to the cost model."""
         return self.cost_model.message_cost() + self.message_cost(message)
@@ -68,7 +147,18 @@ class PartitionServer(Node):
         return 0.0
 
     def start(self) -> None:
-        """Start periodic protocol tasks (stabilization, GC); override."""
+        """Start the kernel's periodic protocol tasks (stabilization, GC)."""
+        for spec in self.kernel.periodic_timers():
+            self._periodic_tasks.append(PeriodicTask(
+                self.sim, spec.interval,
+                lambda tag=spec.tag: self._fire_timer(tag),
+                start_delay=spec.start_delay, label=spec.tag))
+
+    def stop_background_tasks(self) -> None:
+        """Cancel periodic tasks (lets the event queue drain at run end)."""
+        for task in self._periodic_tasks:
+            task.cancel()
+        self._periodic_tasks = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"{type(self).__name__}(dc={self.dc_id}, "

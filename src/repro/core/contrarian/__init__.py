@@ -15,38 +15,28 @@ expressed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
-
 from repro.core.vector.client import VectorClient
+from repro.core.vector.kernel import ContrarianClientKernel, ContrarianKernel
 from repro.core.vector.server import VectorServer
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.causal.checker import CausalConsistencyChecker
-    from repro.cluster.topology import ClusterTopology
-    from repro.metrics.collectors import MetricsRegistry
-    from repro.workload.generator import WorkloadGenerator
 
 PROTOCOL_NAME = "contrarian"
 
 
 class ContrarianServer(VectorServer):
-    """Contrarian partition server: HLC (by default) and cheap PUTs."""
+    """Contrarian partition server: HLC (by default) and cheap PUTs.
 
-    def __init__(self, topology: "ClusterTopology", dc_id: int,
-                 partition_index: int) -> None:
-        super().__init__(topology, dc_id, partition_index,
-                         clock_mode=topology.config.clock_mode,
-                         protocol_name=PROTOCOL_NAME)
+    A thin driver: the protocol state machine is
+    :class:`~repro.core.vector.kernel.ContrarianKernel`.
+    """
+
+    kernel_class = ContrarianKernel
 
 
 class ContrarianClient(VectorClient):
     """Contrarian client: 1½-round ROTs by default, 2 rounds if configured."""
 
-    def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
-                 generator: "WorkloadGenerator", metrics: "MetricsRegistry",
-                 checker: Optional["CausalConsistencyChecker"] = None) -> None:
-        super().__init__(topology, dc_id, client_index, generator, metrics,
-                         checker, two_round=topology.config.rot_rounds == 2.0)
+    kernel_class = ContrarianClientKernel
 
 
-__all__ = ["ContrarianClient", "ContrarianServer", "PROTOCOL_NAME"]
+__all__ = ["ContrarianClient", "ContrarianKernel", "ContrarianServer",
+           "PROTOCOL_NAME"]

@@ -14,38 +14,27 @@ latency/throughput dynamics studied here).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
-
 from repro.core.vector.client import VectorClient
+from repro.core.vector.kernel import CureClientKernel, CureKernel
 from repro.core.vector.server import VectorServer
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.causal.checker import CausalConsistencyChecker
-    from repro.cluster.topology import ClusterTopology
-    from repro.metrics.collectors import MetricsRegistry
-    from repro.workload.generator import WorkloadGenerator
 
 PROTOCOL_NAME = "cure"
 
 
 class CureServer(VectorServer):
-    """Cure partition server: physical clocks, hence blocking ROTs."""
+    """Cure partition server: physical clocks, hence blocking ROTs.
 
-    def __init__(self, topology: "ClusterTopology", dc_id: int,
-                 partition_index: int) -> None:
-        super().__init__(topology, dc_id, partition_index,
-                         clock_mode="physical",
-                         protocol_name=PROTOCOL_NAME)
+    A thin driver: the protocol state machine is
+    :class:`~repro.core.vector.kernel.CureKernel`.
+    """
+
+    kernel_class = CureKernel
 
 
 class CureClient(VectorClient):
     """Cure client: always two rounds of client-server communication."""
 
-    def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
-                 generator: "WorkloadGenerator", metrics: "MetricsRegistry",
-                 checker: Optional["CausalConsistencyChecker"] = None) -> None:
-        super().__init__(topology, dc_id, client_index, generator, metrics,
-                         checker, two_round=True)
+    kernel_class = CureClientKernel
 
 
-__all__ = ["CureClient", "CureServer", "PROTOCOL_NAME"]
+__all__ = ["CureClient", "CureKernel", "CureServer", "PROTOCOL_NAME"]

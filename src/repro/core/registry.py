@@ -1,18 +1,29 @@
 """Protocol registry and static characterisation (Table 2).
 
-The registry maps protocol names to their server/client classes (used by the
-harness builder) and records the static properties the paper tabulates in
-Table 2: whether ROTs are nonblocking, how many rounds and versions they need,
-and what a PUT costs in terms of communication and metadata.
+The registry maps protocol names to a :class:`ProtocolSpec` — the simulated
+driver classes (server/client), the sans-I/O kernel classes both backends
+share, and the static properties the paper tabulates in Table 2.  It is
+*extensible*: :func:`register_protocol` adds (or replaces) an entry, so
+external designs can plug into the harness, the builder and the real-time
+backend without editing this module; a bad lookup raises
+:class:`~repro.errors.ConfigurationError` listing every known name.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.cclo import CcloClient, CcloServer
+from repro.core.cclo.kernel import CcloClientKernel, CcloKernel
 from repro.core.contrarian import ContrarianClient, ContrarianServer
 from repro.core.cure import CureClient, CureServer
+from repro.core.vector.kernel import (
+    ContrarianClientKernel,
+    ContrarianKernel,
+    CureClientKernel,
+    CureKernel,
+)
 from repro.errors import ConfigurationError
 
 
@@ -32,32 +43,138 @@ class ProtocolProperties:
     latency_optimal: bool
 
 
-#: Registered, runnable protocol implementations.
-PROTOCOLS: dict[str, tuple[type, type]] = {
-    "contrarian": (ContrarianServer, ContrarianClient),
-    "cure": (CureServer, CureClient),
-    "cc-lo": (CcloServer, CcloClient),
-}
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the builders know about one registered protocol.
 
-#: Table 2 rows for the three implemented systems (N partitions, M DCs,
-#: K clients per DC, following the paper's notation).
-_IMPLEMENTED_PROPERTIES: dict[str, ProtocolProperties] = {
-    "contrarian": ProtocolProperties(
+    ``server`` / ``client`` are the simulated drivers; ``kernel`` /
+    ``client_kernel`` the sans-I/O state machines (used directly by the
+    real-time backend and by kernel-level tests).  Kernel classes expose a
+    ``from_config(config, ...)`` factory; see
+    :class:`repro.core.common.kernel.ServerKernel`.
+    """
+
+    name: str
+    server: type
+    client: type
+    kernel: Optional[type] = None
+    client_kernel: Optional[type] = None
+    properties: Optional[ProtocolProperties] = None
+
+
+#: Live registry; mutated only through :func:`register_protocol`.
+_SPECS: dict[str, ProtocolSpec] = {}
+
+#: Backwards-compatible view: name -> (server, client).  Kept in sync by
+#: :func:`register_protocol`.
+PROTOCOLS: dict[str, tuple[type, type]] = {}
+
+
+def register_protocol(name: str, server: type, client: type, *,
+                      kernel: Optional[type] = None,
+                      client_kernel: Optional[type] = None,
+                      properties: Optional[ProtocolProperties] = None,
+                      replace: bool = False) -> ProtocolSpec:
+    """Register a runnable protocol under ``name``.
+
+    Parameters
+    ----------
+    server / client:
+        Simulated driver classes with the builder's
+        ``(topology, dc_id, index, ...)`` constructor contract.
+    kernel / client_kernel:
+        Sans-I/O kernel classes (``from_config`` factories); required for
+        the real-time backend, optional for simulation-only designs.
+    properties:
+        Table-2 row for the design (optional).
+    replace:
+        Allow overwriting an existing registration (default: refuse, so two
+        plugins cannot silently shadow each other).
+    """
+    if not replace and name in _SPECS:
+        raise ConfigurationError(
+            f"protocol {name!r} is already registered; "
+            f"pass replace=True to override")
+    spec = ProtocolSpec(name=name, server=server, client=client,
+                        kernel=kernel, client_kernel=client_kernel,
+                        properties=properties)
+    _SPECS[name] = spec
+    PROTOCOLS[name] = (server, client)
+    return spec
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a registration (primarily for tests of the registry itself)."""
+    _SPECS.pop(name, None)
+    PROTOCOLS.pop(name, None)
+
+
+def resolve_spec(name: str) -> ProtocolSpec:
+    """The full :class:`ProtocolSpec` of a registered protocol."""
+    try:
+        return _SPECS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; known: {sorted(_SPECS)}") from exc
+
+
+def resolve(name: str) -> tuple[type, type]:
+    """Server and client driver classes of a registered protocol."""
+    spec = resolve_spec(name)
+    return spec.server, spec.client
+
+
+def protocol_properties(name: str) -> ProtocolProperties:
+    """Table-2 properties of an implemented protocol."""
+    spec = resolve_spec(name)
+    if spec.properties is None:
+        raise ConfigurationError(
+            f"protocol {name!r} registered without Table-2 properties")
+    return spec.properties
+
+
+def implemented_protocols() -> tuple[str, ...]:
+    """Names of protocols that can actually be run."""
+    return tuple(_SPECS)
+
+
+def realtime_protocols() -> tuple[str, ...]:
+    """Names of protocols with kernels, i.e. runnable on the asyncio backend."""
+    return tuple(name for name, spec in _SPECS.items()
+                 if spec.kernel is not None and spec.client_kernel is not None)
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations
+# --------------------------------------------------------------------------
+
+register_protocol(
+    "contrarian", ContrarianServer, ContrarianClient,
+    kernel=ContrarianKernel, client_kernel=ContrarianClientKernel,
+    properties=ProtocolProperties(
         name="Contrarian", nonblocking=True, rot_rounds="1 1/2 (or 2)",
         rot_versions=1, write_cost_client_server="1",
         write_cost_server_server="-", metadata_client_server="M",
-        metadata_server_server="-", clock="Hybrid", latency_optimal=False),
-    "cure": ProtocolProperties(
+        metadata_server_server="-", clock="Hybrid", latency_optimal=False))
+
+register_protocol(
+    "cure", CureServer, CureClient,
+    kernel=CureKernel, client_kernel=CureClientKernel,
+    properties=ProtocolProperties(
         name="Cure", nonblocking=False, rot_rounds="2", rot_versions=1,
         write_cost_client_server="1", write_cost_server_server="-",
         metadata_client_server="M", metadata_server_server="-",
-        clock="Physical", latency_optimal=False),
-    "cc-lo": ProtocolProperties(
+        clock="Physical", latency_optimal=False))
+
+register_protocol(
+    "cc-lo", CcloServer, CcloClient,
+    kernel=CcloKernel, client_kernel=CcloClientKernel,
+    properties=ProtocolProperties(
         name="COPS-SNOW (CC-LO)", nonblocking=True, rot_rounds="1",
         rot_versions=1, write_cost_client_server="1",
         write_cost_server_server="O(N)", metadata_client_server="|deps|",
-        metadata_server_server="O(K)", clock="Logical", latency_optimal=True),
-}
+        metadata_server_server="O(K)", clock="Logical", latency_optimal=True))
+
 
 #: Table 2 rows for systems the paper surveys but does not evaluate; these are
 #: reported verbatim for completeness of the generated table.
@@ -79,39 +196,21 @@ _SURVEYED_PROPERTIES: tuple[ProtocolProperties, ...] = (
 )
 
 
-def protocol_properties(name: str) -> ProtocolProperties:
-    """Table-2 properties of an implemented protocol."""
-    try:
-        return _IMPLEMENTED_PROPERTIES[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown protocol {name!r}; known: {sorted(_IMPLEMENTED_PROPERTIES)}") from exc
-
-
-def implemented_protocols() -> tuple[str, ...]:
-    """Names of protocols that can actually be simulated."""
-    return tuple(PROTOCOLS)
-
-
 def surveyed_properties() -> tuple[ProtocolProperties, ...]:
     """Table-2 rows of systems the paper surveys but does not evaluate."""
     return _SURVEYED_PROPERTIES
 
 
-def resolve(name: str) -> tuple[type, type]:
-    """Server and client classes of a registered protocol."""
-    try:
-        return PROTOCOLS[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}") from exc
-
-
 __all__ = [
     "PROTOCOLS",
     "ProtocolProperties",
+    "ProtocolSpec",
     "implemented_protocols",
     "protocol_properties",
+    "realtime_protocols",
+    "register_protocol",
     "resolve",
+    "resolve_spec",
     "surveyed_properties",
+    "unregister_protocol",
 ]

@@ -6,11 +6,24 @@ Orbe/GentleRain/Cure design): items carry per-DC dependency vectors, a
 stabilization protocol computes the Global Stable Snapshot, and ROTs read a
 coordinator-chosen snapshot vector.  The two systems differ in the clock used
 to timestamp events (HLC vs physical) and in the number of communication
-rounds of a ROT (1½ vs 2), so both are implemented here as configurations of
-the same server/client pair.
+rounds of a ROT (1½ vs 2), so both are implemented as configurations of the
+same kernel/driver pair: the protocol state machines live in
+:mod:`repro.core.vector.kernel` (sans-I/O), the simulated drivers in
+``server``/``client``.  Exports resolve lazily so kernel imports stay
+simulator-free.
 """
 
-from repro.core.vector.client import VectorClient
-from repro.core.vector.server import VectorServer
+from repro._lazy import make_lazy
 
-__all__ = ["VectorClient", "VectorServer"]
+_EXPORTS = {
+    "ContrarianKernel": "repro.core.vector.kernel",
+    "CureKernel": "repro.core.vector.kernel",
+    "VectorClient": "repro.core.vector.client",
+    "VectorClientKernel": "repro.core.vector.kernel",
+    "VectorServer": "repro.core.vector.server",
+    "VectorServerKernel": "repro.core.vector.kernel",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

@@ -1,160 +1,54 @@
-"""Client of the vector protocol family (Contrarian / Cure).
+"""Simulated driver of the vector-family client (Contrarian / Cure).
 
-The client keeps two pieces of causal context (Section 4):
-
-* the highest *local-DC* timestamp it has observed (from PUT replies and ROT
-  snapshots), which guarantees read-your-writes and monotonic snapshots; and
-* the freshest *GSS* it has observed, which bounds the remote entries of the
-  snapshot vectors proposed for its ROTs.
-
-For a ROT the client picks a coordinator uniformly at random among the
-involved partitions, sends it the request with the context piggybacked, and
-waits for one value reply per involved partition (1½-round mode) or for the
-snapshot followed by the per-partition replies (2-round mode).
+The causal-context bookkeeping and the ROT exchange live in the sans-I/O
+:class:`~repro.core.vector.kernel.VectorClientKernel`; this driver plugs one
+kernel into the closed-loop machinery of
+:class:`~repro.core.common.client.BaseClient`.  State the tests inspect is
+surfaced from the kernel as properties.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from repro.causal.dependencies import ClientDependencyContext
-from repro.causal.vectors import entrywise_max, zero_vector
 from repro.core.common.client import BaseClient
-from repro.core.common.messages import (
-    PendingRot,
-    ReadResult,
-    RotCoordinatorRequest,
-    RotReadRequest,
-    RotSnapshotReply,
-    RotValueReply,
-    VectorPutReply,
-    VectorPutRequest,
-)
-from repro.errors import ProtocolError
-from repro.workload.generator import Operation
+from repro.core.vector.kernel import VectorClientKernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.topology import ClusterTopology
-    from repro.sim.node import Node
 
 
 class VectorClient(BaseClient):
     """A closed-loop client speaking the Contrarian/Cure protocol."""
 
+    #: The kernel class this driver instantiates; protocol subclasses
+    #: (Contrarian, Cure) override it.
+    kernel_class: type[VectorClientKernel] = VectorClientKernel
+
     def __init__(self, topology: "ClusterTopology", dc_id: int, client_index: int,
-                 generator, metrics, checker=None, *, two_round: bool) -> None:
+                 generator, metrics, checker=None) -> None:
         super().__init__(topology, dc_id, client_index, generator, metrics, checker)
-        self.two_round = two_round
-        self.num_dcs = topology.config.num_dcs
-        self.local_ts_seen = 0
-        self.gss_seen: tuple[int, ...] = zero_vector(self.num_dcs)
-        self.dep_context = ClientDependencyContext()
-        self._pending_rot: Optional[PendingRot] = None
-        self._pending_put_gss: Optional[tuple[int, ...]] = None
+        self.attach_kernel(self.kernel_class.from_config(
+            topology.config, self.node_id, dc_id,
+            partitioner=topology.partitioner, rng=self.rng,
+            rot_registry=lambda: topology.rot_registry))
 
-    # ------------------------------------------------------------------- PUT
-    def issue_put(self, operation: Operation) -> None:
-        key = operation.keys[0]
-        server = self.topology.server_for_key(self.dc_id, key)
-        client_vector = list(self.gss_seen)
-        client_vector[self.dc_id] = self.local_ts_seen
-        request = VectorPutRequest(
-            key=key, value_size=operation.value_size,
-            client_vector=tuple(client_vector), client_id=self.node_id,
-            sequence=self.sequence,
-            dependencies=tuple(dep.as_pair() for dep in self.dep_context.dependencies()))
-        self.send(server, request)
+    # --------------------------------------------------------- kernel state
+    @property
+    def two_round(self) -> bool:
+        return self.kernel.two_round
 
-    def _handle_put_reply(self, message: VectorPutReply) -> None:
-        self._pending_put_gss = message.gss
-        self.complete_put(message.key, message.timestamp, self.dc_id)
+    @property
+    def local_ts_seen(self) -> int:
+        return self.kernel.local_ts_seen
 
-    def after_put(self, key: str, timestamp: int, origin_dc: int) -> None:
-        self.local_ts_seen = max(self.local_ts_seen, timestamp)
-        if self._pending_put_gss is not None:
-            self.gss_seen = entrywise_max(self.gss_seen, self._pending_put_gss)
-            self._pending_put_gss = None
-        partition = self.partitioner.partition_of(key)
-        self.dep_context.observe_write(key, timestamp, partition, origin_dc)
+    @property
+    def gss_seen(self) -> tuple[int, ...]:
+        return self.kernel.gss_seen
 
-    # ------------------------------------------------------------------- ROT
-    def issue_rot(self, operation: Operation) -> None:
-        rot_id = self.next_rot_id()
-        groups = self.partitioner.group_by_partition(list(operation.keys))
-        involved = sorted(groups)
-        coordinator_index = self.rng.choice(involved)
-        coordinator = self.topology.server(self.dc_id, coordinator_index)
-        self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
-                                       started_at=self.sim.now,
-                                       expected_replies=len(involved))
-        registry = self.topology.rot_registry
-        if registry is not None:
-            registry.register(self.dc_id, rot_id)
-        self.send(coordinator, RotCoordinatorRequest(
-            rot_id=rot_id, keys=operation.keys,
-            client_local_ts=self.local_ts_seen, client_gss=self.gss_seen,
-            client_id=self.node_id, two_round=self.two_round))
-
-    def _handle_snapshot_reply(self, message: RotSnapshotReply) -> None:
-        pending = self._expect_pending(message.rot_id)
-        pending.snapshot = message.snapshot
-        groups = self.partitioner.group_by_partition(list(pending.keys))
-        for partition_index, keys in groups.items():
-            server = self.topology.server(self.dc_id, partition_index)
-            self.send(server, RotReadRequest(rot_id=message.rot_id,
-                                             keys=tuple(keys),
-                                             snapshot=message.snapshot,
-                                             client_id=self.node_id))
-
-    def _handle_value_reply(self, message: RotValueReply) -> None:
-        pending = self._expect_pending(message.rot_id)
-        pending.record_reply(message.results)
-        # The snapshot vector dominates the dependency vector of every version
-        # returned by this ROT, so folding it into the client's causal context
-        # guarantees that the client's subsequent PUTs causally cover what it
-        # just read (including the remote dependencies of those versions).
-        self.local_ts_seen = max(self.local_ts_seen, message.snapshot[self.dc_id])
-        snapshot_remote = list(message.snapshot)
-        snapshot_remote[self.dc_id] = 0
-        self.gss_seen = entrywise_max(self.gss_seen, tuple(snapshot_remote))
-        self.gss_seen = entrywise_max(self.gss_seen, message.gss)
-        if not pending.complete:
-            return
-        self._pending_rot = None
-        registry = self.topology.rot_registry
-        if registry is not None:
-            registry.deregister(self.dc_id, message.rot_id)
-        for result in pending.results.values():
-            if result.timestamp is not None:
-                partition = self.partitioner.partition_of(result.key)
-                self.dep_context.observe_read(result.key, result.timestamp,
-                                              partition, result.origin_dc)
-        self.complete_rot(message.rot_id, pending.results)
-
-    def _expect_pending(self, rot_id: str) -> PendingRot:
-        pending = self._pending_rot
-        if pending is None or pending.rot_id != rot_id:
-            raise ProtocolError(f"{self.node_id} received a reply for unknown ROT {rot_id}")
-        return pending
-
-    # -------------------------------------------------------------- dispatch
-    def handle_message(self, sender: "Node", message: object) -> None:
-        del sender
-        if isinstance(message, VectorPutReply):
-            self._handle_put_reply(message)
-        elif isinstance(message, RotSnapshotReply):
-            self._handle_snapshot_reply(message)
-        elif isinstance(message, RotValueReply):
-            self._handle_value_reply(message)
-        else:
-            raise ProtocolError(f"{self.node_id} cannot handle {type(message).__name__}")
-
-    # ------------------------------------------------------------------ misc
-    def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
-        return tuple(dep.as_triple() for dep in self.dep_context.dependencies())
-
-    def after_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
-        del rot_id, results  # context already updated in _handle_value_reply
+    @property
+    def dep_context(self):
+        return self.kernel.dep_context
 
 
 __all__ = ["VectorClient"]

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.clocks.hlc import HybridLogicalClock
 from repro.clocks.lamport import LamportClock
 from repro.clocks.physical import PhysicalClock
+from repro.clocks.units import microseconds
 from repro.errors import ConfigurationError
-from repro.sim.engine import Simulator, microseconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clocks.timesource import TimeSource
 
 
 @dataclass(frozen=True)
@@ -35,13 +40,19 @@ class TimestampDecision:
 
 
 class ClockBox:
-    """A server clock in one of three modes: ``hlc``, ``logical``, ``physical``."""
+    """A server clock in one of three modes: ``hlc``, ``logical``, ``physical``.
 
-    def __init__(self, mode: str, sim: Simulator, offset_us: float) -> None:
+    The clock reads time through a pluggable *time source* (anything with a
+    ``now`` attribute in seconds): the simulator on the simulated backend, a
+    :class:`~repro.clocks.timesource.WallClock` on the real-time backend.
+    """
+
+    def __init__(self, mode: str, time_source: "TimeSource",
+                 offset_us: float) -> None:
         if mode not in ("hlc", "logical", "physical"):
             raise ConfigurationError(f"unknown clock mode {mode!r}")
         self.mode = mode
-        self._physical = PhysicalClock(sim, offset_us=offset_us)
+        self._physical = PhysicalClock(time_source, offset_us=offset_us)
         self._hlc = HybridLogicalClock(self._physical)
         self._lamport = LamportClock()
 

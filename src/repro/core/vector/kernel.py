@@ -1,0 +1,514 @@
+"""Sans-I/O kernels of the vector protocol family (Contrarian / Cure).
+
+:class:`VectorServerKernel` and :class:`VectorClientKernel` hold the complete
+protocol logic of Section 4 — PUT timestamping, snapshot-vector choice, GSS
+stabilization, heartbeats, replication — as pure state machines emitting
+:mod:`repro.core.common.kernel` effects.  :class:`ContrarianKernel` and
+:class:`CureKernel` (and their client counterparts) pin down the two
+published configurations: HLC + 1½ rounds versus physical clocks + 2 rounds.
+
+Nothing here imports the simulator: time arrives through ``now`` arguments
+and the injected :class:`~repro.core.vector.clockbox.ClockBox`; randomness
+through the injected client RNG.  The drivers in
+:mod:`repro.core.vector.server` / ``client`` execute the effects against the
+discrete-event simulator, the ones in :mod:`repro.runtime` against asyncio.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.causal.dependencies import ClientDependencyContext
+from repro.causal.stabilization import GlobalStableSnapshot
+from repro.causal.vectors import entrywise_max, vector_leq, zero_vector
+from repro.clocks.units import milliseconds
+from repro.core.common.kernel import (
+    Addr,
+    ClientAddr,
+    ClientKernel,
+    PutOutcome,
+    RotOutcome,
+    ServerAddr,
+    ServerKernel,
+    TimerSpec,
+)
+from repro.core.common.messages import (
+    PendingRot,
+    ReadResult,
+    RemoteHeartbeat,
+    ReplicateUpdate,
+    RotCoordinatorRequest,
+    RotProxyRead,
+    RotReadRequest,
+    RotSnapshotReply,
+    RotValueReply,
+    StabilizationMessage,
+    VectorPutReply,
+    VectorPutRequest,
+)
+from repro.core.vector.clockbox import ClockBox
+from repro.errors import ProtocolError
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.version import Version
+
+
+class VectorServerKernel(ServerKernel):
+    """The partition-server state machine of the Contrarian/Cure design."""
+
+    #: Default clock mode; subclasses pin the published configurations.
+    clock_mode = "hlc"
+    protocol_name = "vector"
+
+    def __init__(self, *, node_id: str, dc_id: int, partition_index: int,
+                 num_dcs: int, num_partitions: int, partitioner,
+                 clock: ClockBox,
+                 stabilization_interval: float,
+                 heartbeat_interval: float,
+                 max_versions_per_key: int = 32,
+                 counters=None, rot_registry=None) -> None:
+        super().__init__(node_id=node_id, dc_id=dc_id,
+                         partition_index=partition_index, num_dcs=num_dcs,
+                         num_partitions=num_partitions,
+                         partitioner=partitioner, counters=counters,
+                         rot_registry=rot_registry)
+        self.clock = clock
+        self.store = MultiVersionStore(max_versions_per_key=max_versions_per_key)
+        self.version_vector: list[int] = list(zero_vector(num_dcs))
+        self.gss_state = GlobalStableSnapshot(num_dcs, num_partitions,
+                                              partition_index)
+        self._stabilization_interval = stabilization_interval
+        self._heartbeat_interval = heartbeat_interval
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def resolved_clock_mode(cls, config) -> str:
+        """The clock mode this kernel runs with under ``config``."""
+        return cls.clock_mode
+
+    @classmethod
+    def from_config(cls, config, dc_id: int, partition_index: int, *,
+                    partitioner, time_source, skew_offset_us: float = 0.0,
+                    counters=None, rot_registry=None) -> "VectorServerKernel":
+        """Build a kernel from a :class:`~repro.cluster.config.ClusterConfig`.
+
+        ``config`` is duck-typed so this module never imports the (simulator
+        -dependent) configuration class; drivers of both backends pass the
+        real one.
+        """
+        node_id = f"server-dc{dc_id}-p{partition_index}"
+        clock = ClockBox(cls.resolved_clock_mode(config), time_source,
+                         offset_us=skew_offset_us)
+        return cls(node_id=node_id, dc_id=dc_id,
+                   partition_index=partition_index,
+                   num_dcs=config.num_dcs,
+                   num_partitions=config.num_partitions,
+                   partitioner=partitioner, clock=clock,
+                   stabilization_interval=milliseconds(
+                       config.stabilization_interval_ms),
+                   heartbeat_interval=milliseconds(
+                       config.heartbeat_interval_ms),
+                   max_versions_per_key=config.max_versions_per_key,
+                   counters=counters, rot_registry=rot_registry)
+
+    # ------------------------------------------------------------------- GSS
+    @property
+    def gss(self) -> tuple[int, ...]:
+        """The partition's current view of the Global Stable Snapshot."""
+        return self.gss_state.gss
+
+    # ---------------------------------------------------------------- timers
+    def periodic_timers(self) -> tuple[TimerSpec, ...]:
+        interval = self._stabilization_interval
+        specs = [TimerSpec(
+            tag="stabilization", interval=interval,
+            start_delay=interval * (0.5 + 0.5 * self.partition_index
+                                    / max(1, self.num_partitions)))]
+        if self.num_dcs > 1:
+            specs.append(TimerSpec(tag="remote-heartbeat",
+                                   interval=self._heartbeat_interval))
+        return tuple(specs)
+
+    def _handle_timer(self, tag: str, payload: Any) -> None:
+        if tag == "stabilization":
+            self._broadcast_version_vector()
+        elif tag == "remote-heartbeat":
+            self._send_remote_heartbeats()
+        elif tag == "put-wait":
+            sender, message = payload
+            self._finish_put(sender, message)
+        elif tag == "rot-block":
+            client, rot_id, keys, snapshot = payload
+            self._serve_read(client, rot_id, keys, snapshot)
+        else:
+            super()._handle_timer(tag, payload)
+
+    def _broadcast_version_vector(self) -> None:
+        """Advertise the local version vector to the other local partitions."""
+        local = self.dc_id
+        self.version_vector[local] = max(self.version_vector[local],
+                                         self.clock.read())
+        vv = tuple(self.version_vector)
+        self.gss_state.update_local_vv(vv)
+        message = StabilizationMessage(partition_index=self.partition_index,
+                                       version_vector=vv)
+        for peer in self.peers_in_dc():
+            self.counters.stabilization_messages += 1
+            self._send(peer, message)
+
+    def _send_remote_heartbeats(self) -> None:
+        """Advertise the local clock to remote replicas of this partition."""
+        message = RemoteHeartbeat(origin_dc=self.dc_id,
+                                  timestamp=self.clock.read())
+        for replica in self.replicas():
+            self.counters.stabilization_messages += 1
+            self._send(replica, message)
+
+    # --------------------------------------------------------------- handlers
+    def _dispatch(self, sender: Addr, message: object) -> None:
+        if isinstance(message, VectorPutRequest):
+            self._handle_put(sender, message)
+        elif isinstance(message, RotCoordinatorRequest):
+            self._handle_coordinator_request(sender, message)
+        elif isinstance(message, RotProxyRead):
+            self._handle_read(message)
+        elif isinstance(message, RotReadRequest):
+            self._handle_read(message)
+        elif isinstance(message, StabilizationMessage):
+            self.gss_state.observe_remote_vv(message.partition_index,
+                                             message.version_vector)
+        elif isinstance(message, RemoteHeartbeat):
+            self._observe_remote_timestamp(message.origin_dc, message.timestamp)
+        elif isinstance(message, ReplicateUpdate):
+            self._handle_replicated_update(message)
+        else:
+            raise ProtocolError(
+                f"{self.node_id} cannot handle {type(message).__name__}")
+
+    # -------------------------------------------------------------------- PUT
+    def _handle_put(self, sender: Addr, message: VectorPutRequest) -> None:
+        floor = max(message.client_vector) if message.client_vector else 0
+        decision = self.clock.timestamp_after(floor)
+        if decision.wait_seconds > 0:
+            # Physical clocks (Cure) may have to wait before they can assign a
+            # timestamp larger than the client's dependencies.
+            self.counters.total_block_time += decision.wait_seconds
+            self._set_timer(decision.wait_seconds, "put-wait",
+                            payload=(sender, message))
+            return
+        self._finish_put(sender, message, timestamp=decision.timestamp)
+
+    def _finish_put(self, sender: Addr, message: VectorPutRequest,
+                    timestamp: Optional[int] = None) -> None:
+        if timestamp is None:
+            floor = max(message.client_vector) if message.client_vector else 0
+            timestamp = self.clock.timestamp_after(floor).timestamp
+        local = self.dc_id
+        dependency_vector = list(entrywise_max(message.client_vector,
+                                               self._gss_with_local_zero()))
+        dependency_vector[local] = timestamp
+        version = Version(key=message.key, value=None, timestamp=timestamp,
+                          origin_dc=local, size_bytes=message.value_size,
+                          dependency_vector=tuple(dependency_vector),
+                          dependencies=message.dependencies,
+                          created_at=self.now, writer=message.client_id,
+                          sequence=message.sequence)
+        self.store.install(version)
+        self.version_vector[local] = max(self.version_vector[local], timestamp)
+        self._send(sender, VectorPutReply(key=message.key, timestamp=timestamp,
+                                          gss=self.gss))
+        self._replicate(version)
+
+    def _gss_with_local_zero(self) -> tuple[int, ...]:
+        gss = list(self.gss)
+        gss[self.dc_id] = 0
+        return tuple(gss)
+
+    def _replicate(self, version: Version) -> None:
+        for replica in self.replicas():
+            self.counters.replication_messages += 1
+            self.counters.dependency_entries_sent += len(version.dependencies)
+            self._send(replica, ReplicateUpdate(
+                key=version.key, timestamp=version.timestamp,
+                origin_dc=version.origin_dc, value_size=version.size_bytes,
+                dependency_vector=version.dependency_vector,
+                dependencies=version.dependencies,
+                writer=version.writer, sequence=version.sequence))
+
+    def _handle_replicated_update(self, message: ReplicateUpdate) -> None:
+        self.clock.observe(message.timestamp)
+        self._observe_remote_timestamp(message.origin_dc, message.timestamp)
+        version = Version(key=message.key, value=None, timestamp=message.timestamp,
+                          origin_dc=message.origin_dc, size_bytes=message.value_size,
+                          dependency_vector=message.dependency_vector,
+                          dependencies=message.dependencies,
+                          created_at=self.now, writer=message.writer,
+                          sequence=message.sequence)
+        self.store.install(version)
+
+    def _observe_remote_timestamp(self, origin_dc: int, timestamp: int) -> None:
+        if origin_dc == self.dc_id:
+            return
+        self.version_vector[origin_dc] = max(self.version_vector[origin_dc],
+                                             timestamp)
+
+    # -------------------------------------------------------------------- ROT
+    def _handle_coordinator_request(self, sender: Addr,
+                                    message: RotCoordinatorRequest) -> None:
+        snapshot = self._choose_snapshot(message)
+        if message.two_round:
+            self._send(sender, RotSnapshotReply(rot_id=message.rot_id,
+                                                snapshot=snapshot))
+            return
+        # 1 1/2-round mode: fan the reads out to the involved partitions, which
+        # reply to the client directly (three communication steps in total).
+        client = ClientAddr(message.client_id)
+        groups = self.partitioner.group_by_partition(list(message.keys))
+        for partition_index, keys in groups.items():
+            if partition_index == self.partition_index:
+                continue
+            self._send(ServerAddr(self.dc_id, partition_index),
+                       RotProxyRead(rot_id=message.rot_id,
+                                    keys=tuple(keys), snapshot=snapshot,
+                                    client_id=message.client_id))
+        own_keys = groups.get(self.partition_index, [])
+        if own_keys:
+            self._serve_read(client, message.rot_id, tuple(own_keys), snapshot)
+
+    def _choose_snapshot(self, message: RotCoordinatorRequest) -> tuple[int, ...]:
+        snapshot = list(entrywise_max(self.gss, message.client_gss))
+        local = self.dc_id
+        snapshot[local] = max(self.clock.read(), message.client_local_ts)
+        registry = self.rot_registry()
+        if registry is not None:
+            # Fault runs track in-flight snapshots so version GC never evicts
+            # what this ROT may still need (min-active-snapshot retention).
+            registry.attach_snapshot(self.dc_id, message.rot_id, tuple(snapshot))
+        return tuple(snapshot)
+
+    def _handle_read(self, message: "RotProxyRead | RotReadRequest") -> None:
+        client = ClientAddr(message.client_id)
+        wait = self.clock.catch_up(message.snapshot[self.dc_id])
+        if wait > 0:
+            # Physical clocks (Cure) block until the local clock reaches the
+            # snapshot timestamp; this is the latency penalty the paper
+            # attributes to clock skew.
+            self.counters.blocked_reads += 1
+            self.counters.total_block_time += wait
+            self._set_timer(wait, "rot-block",
+                            payload=(client, message.rot_id, message.keys,
+                                     message.snapshot))
+            return
+        self._serve_read(client, message.rot_id, message.keys, message.snapshot)
+
+    def _serve_read(self, client: Addr, rot_id: str, keys: tuple[str, ...],
+                    snapshot: tuple[int, ...]) -> None:
+        results = tuple(self._read_key(key, snapshot) for key in keys)
+        self._send(client, RotValueReply(rot_id=rot_id, results=results,
+                                         snapshot=snapshot, gss=self.gss))
+
+    def _read_key(self, key: str, snapshot: tuple[int, ...]) -> ReadResult:
+        version = self.store.latest(
+            key, lambda v: v.is_visible()
+            and v.dependency_vector is not None
+            and vector_leq(v.dependency_vector, snapshot))
+        if version is None:
+            return ReadResult(key=key, timestamp=None, origin_dc=self.dc_id,
+                              value_size=0)
+        return ReadResult(key=key, timestamp=version.timestamp,
+                          origin_dc=version.origin_dc,
+                          value_size=version.size_bytes)
+
+
+class ContrarianKernel(VectorServerKernel):
+    """Contrarian: HLC (by default; the clock ablation may override)."""
+
+    clock_mode = "hlc"
+    protocol_name = "contrarian"
+
+    @classmethod
+    def resolved_clock_mode(cls, config) -> str:
+        return config.clock_mode
+
+
+class CureKernel(VectorServerKernel):
+    """Cure: physical clocks, hence blocking ROTs."""
+
+    clock_mode = "physical"
+    protocol_name = "cure"
+
+
+# --------------------------------------------------------------------------
+# Client kernel
+# --------------------------------------------------------------------------
+
+
+class VectorClientKernel(ClientKernel):
+    """The client state machine of the Contrarian/Cure design.
+
+    Keeps the two pieces of causal context of Section 4 — the highest
+    local-DC timestamp observed and the freshest GSS observed — plus the
+    explicit nearest-dependency context recorded for the checker.
+    """
+
+    def __init__(self, *, client_id: str, dc_id: int, num_dcs: int,
+                 partitioner, rng: random.Random, two_round: bool,
+                 rot_registry=None) -> None:
+        super().__init__(client_id=client_id, dc_id=dc_id,
+                         partitioner=partitioner, rot_registry=rot_registry)
+        self.rng = rng
+        self.two_round = two_round
+        self.num_dcs = num_dcs
+        self.local_ts_seen = 0
+        self.gss_seen: tuple[int, ...] = zero_vector(num_dcs)
+        self.dep_context = ClientDependencyContext()
+        self._pending_rot: Optional[PendingRot] = None
+        self._pending_put_gss: Optional[tuple[int, ...]] = None
+
+    @classmethod
+    def resolved_two_round(cls, config) -> bool:
+        """Whether this client runs 2-round ROTs under ``config``."""
+        return config.rot_rounds == 2.0
+
+    @classmethod
+    def from_config(cls, config, client_id: str, dc_id: int, *,
+                    partitioner, rng: random.Random,
+                    rot_registry=None) -> "VectorClientKernel":
+        return cls(client_id=client_id, dc_id=dc_id, num_dcs=config.num_dcs,
+                   partitioner=partitioner, rng=rng,
+                   two_round=cls.resolved_two_round(config),
+                   rot_registry=rot_registry)
+
+    # ------------------------------------------------------------------- PUT
+    def _issue_put(self, operation) -> None:
+        key = operation.keys[0]
+        client_vector = list(self.gss_seen)
+        client_vector[self.dc_id] = self.local_ts_seen
+        request = VectorPutRequest(
+            key=key, value_size=operation.value_size,
+            client_vector=tuple(client_vector), client_id=self.client_id,
+            sequence=self.sequence,
+            dependencies=tuple(dep.as_pair()
+                               for dep in self.dep_context.dependencies()))
+        self._send(ServerAddr(self.dc_id, self.partitioner.partition_of(key)),
+                   request)
+
+    def _handle_put_reply(self, message: VectorPutReply) -> None:
+        self._pending_put_gss = message.gss
+        # Snapshot the causal context *before* the PUT subsumes it — the
+        # checker records the PUT against the context it was issued under.
+        dependencies = self.checker_dependencies()
+        self._after_put(message.key, message.timestamp)
+        self._complete("put", PutOutcome(key=message.key,
+                                         timestamp=message.timestamp,
+                                         origin_dc=self.dc_id,
+                                         dependencies=dependencies))
+
+    def _after_put(self, key: str, timestamp: int) -> None:
+        self.local_ts_seen = max(self.local_ts_seen, timestamp)
+        if self._pending_put_gss is not None:
+            self.gss_seen = entrywise_max(self.gss_seen, self._pending_put_gss)
+            self._pending_put_gss = None
+        partition = self.partitioner.partition_of(key)
+        self.dep_context.observe_write(key, timestamp, partition, self.dc_id)
+
+    # ------------------------------------------------------------------- ROT
+    def _issue_rot(self, operation) -> None:
+        rot_id = self.next_rot_id()
+        groups = self.partitioner.group_by_partition(list(operation.keys))
+        involved = sorted(groups)
+        coordinator_index = self.rng.choice(involved)
+        self._pending_rot = PendingRot(rot_id=rot_id, keys=operation.keys,
+                                       started_at=self.now,
+                                       expected_replies=len(involved))
+        registry = self.rot_registry()
+        if registry is not None:
+            registry.register(self.dc_id, rot_id)
+        self._send(ServerAddr(self.dc_id, coordinator_index),
+                   RotCoordinatorRequest(
+                       rot_id=rot_id, keys=operation.keys,
+                       client_local_ts=self.local_ts_seen,
+                       client_gss=self.gss_seen,
+                       client_id=self.client_id, two_round=self.two_round))
+
+    def _handle_snapshot_reply(self, message: RotSnapshotReply) -> None:
+        pending = self._expect_pending(message.rot_id)
+        pending.snapshot = message.snapshot
+        groups = self.partitioner.group_by_partition(list(pending.keys))
+        for partition_index, keys in groups.items():
+            self._send(ServerAddr(self.dc_id, partition_index),
+                       RotReadRequest(rot_id=message.rot_id,
+                                      keys=tuple(keys),
+                                      snapshot=message.snapshot,
+                                      client_id=self.client_id))
+
+    def _handle_value_reply(self, message: RotValueReply) -> None:
+        pending = self._expect_pending(message.rot_id)
+        pending.record_reply(message.results)
+        # The snapshot vector dominates the dependency vector of every version
+        # returned by this ROT, so folding it into the client's causal context
+        # guarantees that the client's subsequent PUTs causally cover what it
+        # just read (including the remote dependencies of those versions).
+        self.local_ts_seen = max(self.local_ts_seen, message.snapshot[self.dc_id])
+        snapshot_remote = list(message.snapshot)
+        snapshot_remote[self.dc_id] = 0
+        self.gss_seen = entrywise_max(self.gss_seen, tuple(snapshot_remote))
+        self.gss_seen = entrywise_max(self.gss_seen, message.gss)
+        if not pending.complete:
+            return
+        self._pending_rot = None
+        registry = self.rot_registry()
+        if registry is not None:
+            registry.deregister(self.dc_id, message.rot_id)
+        for result in pending.results.values():
+            if result.timestamp is not None:
+                partition = self.partitioner.partition_of(result.key)
+                self.dep_context.observe_read(result.key, result.timestamp,
+                                              partition, result.origin_dc)
+        self._complete("rot", RotOutcome(rot_id=message.rot_id,
+                                         results=pending.results))
+
+    def _expect_pending(self, rot_id: str) -> PendingRot:
+        pending = self._pending_rot
+        if pending is None or pending.rot_id != rot_id:
+            raise ProtocolError(
+                f"{self.client_id} received a reply for unknown ROT {rot_id}")
+        return pending
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, message: object) -> None:
+        if isinstance(message, VectorPutReply):
+            self._handle_put_reply(message)
+        elif isinstance(message, RotSnapshotReply):
+            self._handle_snapshot_reply(message)
+        elif isinstance(message, RotValueReply):
+            self._handle_value_reply(message)
+        else:
+            raise ProtocolError(
+                f"{self.client_id} cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------ misc
+    def checker_dependencies(self) -> tuple[tuple[str, int, int], ...]:
+        return tuple(dep.as_triple() for dep in self.dep_context.dependencies())
+
+
+class ContrarianClientKernel(VectorClientKernel):
+    """Contrarian client: 1½-round ROTs by default, 2 rounds if configured."""
+
+
+class CureClientKernel(VectorClientKernel):
+    """Cure client: always two rounds of client-server communication."""
+
+    @classmethod
+    def resolved_two_round(cls, config) -> bool:
+        return True
+
+
+__all__ = [
+    "ContrarianClientKernel",
+    "ContrarianKernel",
+    "CureClientKernel",
+    "CureKernel",
+    "VectorClientKernel",
+    "VectorServerKernel",
+]

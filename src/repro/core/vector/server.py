@@ -1,121 +1,77 @@
-"""Partition server of the vector protocol family (Contrarian / Cure).
+"""Simulated driver of the vector protocol family (Contrarian / Cure).
 
-Responsibilities (Section 4 of the paper):
-
-* **PUT** — assign the new version a timestamp strictly greater than every
-  entry of the client's dependency vector, build the version's dependency
-  vector from the client vector and the local GSS, install it, reply, and
-  replicate it asynchronously to the other DCs.
-* **ROT coordination** — compute a snapshot vector ``SV`` whose local entry
-  is the maximum of the coordinator clock and the client's highest-seen local
-  timestamp and whose remote entries come from the GSS; then either return
-  ``SV`` to the client (2-round mode) or forward the reads to the involved
-  partitions which answer the client directly (1½-round mode).
-* **ROT reads** — serve the freshest version within ``SV``; logical/hybrid
-  clocks are moved forward to the snapshot (nonblocking), physical clocks
-  must wait (Cure's blocking behaviour).
-* **Stabilization** — periodically exchange version vectors within the DC to
-  compute the GSS, and send heartbeats to remote replicas so the GSS keeps
-  advancing when no PUTs flow.
+The protocol logic of Section 4 (PUT timestamping, snapshot-vector choice,
+GSS stabilization, heartbeats, replication) lives in the sans-I/O
+:class:`~repro.core.vector.kernel.VectorServerKernel`; this driver binds one
+kernel to the discrete-event simulator and keeps the cost-model accounting —
+the CPU price of every message, which is what produces the queueing dynamics
+the paper measures.  State the tests and the fault controller inspect
+(``clock``, ``gss``, ``version_vector``) is surfaced from the kernel as
+properties.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from repro.causal.stabilization import GlobalStableSnapshot
-from repro.causal.vectors import entrywise_max, vector_leq, zero_vector
 from repro.core.common.messages import (
-    ReadResult,
     RemoteHeartbeat,
     ReplicateUpdate,
     RotCoordinatorRequest,
     RotProxyRead,
     RotReadRequest,
-    RotSnapshotReply,
-    RotValueReply,
     StabilizationMessage,
-    VectorPutReply,
     VectorPutRequest,
 )
 from repro.core.common.server import PartitionServer
-from repro.core.vector.clockbox import ClockBox
-from repro.errors import ProtocolError
-from repro.sim.engine import PeriodicTask, milliseconds
-from repro.storage.version import Version
+from repro.core.vector.kernel import VectorServerKernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.topology import ClusterTopology
-    from repro.sim.node import Node
+    from repro.core.vector.clockbox import ClockBox
 
 
 class VectorServer(PartitionServer):
     """A partition server running the Contrarian/Cure design."""
 
-    def __init__(self, topology: "ClusterTopology", dc_id: int, partition_index: int,
-                 *, clock_mode: str, protocol_name: str) -> None:
+    #: The kernel class this driver instantiates; protocol subclasses
+    #: (Contrarian, Cure) override it.
+    kernel_class: type[VectorServerKernel] = VectorServerKernel
+
+    def __init__(self, topology: "ClusterTopology", dc_id: int,
+                 partition_index: int) -> None:
         super().__init__(topology, dc_id, partition_index)
         skew_rng = topology.sim.derived_rng(
             f"clock-skew:{dc_id}:{partition_index}")
         offset = topology.config.skew_model.draw_offset(skew_rng)
-        self.clock = ClockBox(clock_mode, topology.sim, offset_us=offset)
-        self.protocol_name = protocol_name
-        self.num_dcs = topology.config.num_dcs
-        self.version_vector: list[int] = list(zero_vector(self.num_dcs))
-        self.gss_state = GlobalStableSnapshot(self.num_dcs,
-                                              topology.config.num_partitions,
-                                              partition_index)
-        self._stabilization_task: Optional[PeriodicTask] = None
-        self._heartbeat_task: Optional[PeriodicTask] = None
+        self.attach_kernel(self.kernel_class.from_config(
+            topology.config, dc_id, partition_index,
+            partitioner=topology.partitioner,
+            time_source=topology.sim, skew_offset_us=offset,
+            rot_registry=lambda: topology.rot_registry))
 
-    # ------------------------------------------------------------------ start
-    def start(self) -> None:
-        """Start the stabilization broadcast and remote heartbeats."""
-        interval = milliseconds(self.config.stabilization_interval_ms)
-        self._stabilization_task = PeriodicTask(
-            self.sim, interval, self._broadcast_version_vector,
-            start_delay=interval * (0.5 + 0.5 * self.partition_index
-                                    / max(1, self.config.num_partitions)),
-            label="stabilization")
-        if self.num_dcs > 1:
-            heartbeat = milliseconds(self.config.heartbeat_interval_ms)
-            self._heartbeat_task = PeriodicTask(
-                self.sim, heartbeat, self._send_remote_heartbeats,
-                label="remote-heartbeat")
+    # --------------------------------------------------------- kernel state
+    @property
+    def clock(self) -> "ClockBox":
+        """The kernel's clock (HLC / logical / physical)."""
+        return self.kernel.clock
 
-    def stop_background_tasks(self) -> None:
-        """Cancel periodic tasks (lets the event queue drain at run end)."""
-        if self._stabilization_task is not None:
-            self._stabilization_task.cancel()
-        if self._heartbeat_task is not None:
-            self._heartbeat_task.cancel()
+    @property
+    def protocol_name(self) -> str:
+        return self.kernel.protocol_name
 
-    # ------------------------------------------------------------------- GSS
     @property
     def gss(self) -> tuple[int, ...]:
         """The partition's current view of the Global Stable Snapshot."""
-        return self.gss_state.gss
+        return self.kernel.gss
 
-    def _broadcast_version_vector(self) -> None:
-        """Advertise the local version vector to the other local partitions."""
-        local = self.dc_id
-        self.version_vector[local] = max(self.version_vector[local],
-                                         self.clock.read())
-        vv = tuple(self.version_vector)
-        self.gss_state.update_local_vv(vv)
-        message = StabilizationMessage(partition_index=self.partition_index,
-                                       version_vector=vv)
-        for peer in self.peers_in_dc():
-            self.counters.stabilization_messages += 1
-            self.send(peer, message)
+    @property
+    def gss_state(self):
+        return self.kernel.gss_state
 
-    def _send_remote_heartbeats(self) -> None:
-        """Advertise the local clock to remote replicas of this partition."""
-        message = RemoteHeartbeat(origin_dc=self.dc_id,
-                                  timestamp=self.clock.read())
-        for replica in self.replicas():
-            self.counters.stabilization_messages += 1
-            self.send(replica, message)
+    @property
+    def version_vector(self) -> list[int]:
+        return self.kernel.version_vector
 
     # ------------------------------------------------------------------ costs
     def message_cost(self, message: object) -> float:
@@ -150,164 +106,6 @@ class VectorServer(PartitionServer):
             if version is not None:
                 return version.size_bytes
         return 0
-
-    # --------------------------------------------------------------- handlers
-    def handle_message(self, sender: "Node", message: object) -> None:
-        if isinstance(message, VectorPutRequest):
-            self._handle_put(sender, message)
-        elif isinstance(message, RotCoordinatorRequest):
-            self._handle_coordinator_request(sender, message)
-        elif isinstance(message, RotProxyRead):
-            self._handle_read(message, two_round=False)
-        elif isinstance(message, RotReadRequest):
-            self._handle_read(message, two_round=True)
-        elif isinstance(message, StabilizationMessage):
-            self.gss_state.observe_remote_vv(message.partition_index,
-                                             message.version_vector)
-        elif isinstance(message, RemoteHeartbeat):
-            self._observe_remote_timestamp(message.origin_dc, message.timestamp)
-        elif isinstance(message, ReplicateUpdate):
-            self._handle_replicated_update(message)
-        else:
-            raise ProtocolError(f"{self.node_id} cannot handle {type(message).__name__}")
-
-    # -------------------------------------------------------------------- PUT
-    def _handle_put(self, sender: "Node", message: VectorPutRequest) -> None:
-        floor = max(message.client_vector) if message.client_vector else 0
-        decision = self.clock.timestamp_after(floor)
-        if decision.wait_seconds > 0:
-            # Physical clocks (Cure) may have to wait before they can assign a
-            # timestamp larger than the client's dependencies.
-            self.counters.total_block_time += decision.wait_seconds
-            self.sim.schedule(decision.wait_seconds,
-                              lambda: self._finish_put(sender, message),
-                              label="put-wait")
-            return
-        self._finish_put(sender, message, timestamp=decision.timestamp)
-
-    def _finish_put(self, sender: "Node", message: VectorPutRequest,
-                    timestamp: Optional[int] = None) -> None:
-        if timestamp is None:
-            floor = max(message.client_vector) if message.client_vector else 0
-            timestamp = self.clock.timestamp_after(floor).timestamp
-        local = self.dc_id
-        dependency_vector = list(entrywise_max(message.client_vector,
-                                               self._gss_with_local_zero()))
-        dependency_vector[local] = timestamp
-        version = Version(key=message.key, value=None, timestamp=timestamp,
-                          origin_dc=local, size_bytes=message.value_size,
-                          dependency_vector=tuple(dependency_vector),
-                          dependencies=message.dependencies,
-                          created_at=self.sim.now, writer=message.client_id,
-                          sequence=message.sequence)
-        self.store.install(version)
-        self.version_vector[local] = max(self.version_vector[local], timestamp)
-        self.send(sender, VectorPutReply(key=message.key, timestamp=timestamp,
-                                         gss=self.gss))
-        self._replicate(version)
-
-    def _gss_with_local_zero(self) -> tuple[int, ...]:
-        gss = list(self.gss)
-        gss[self.dc_id] = 0
-        return tuple(gss)
-
-    def _replicate(self, version: Version) -> None:
-        for replica in self.replicas():
-            self.counters.replication_messages += 1
-            self.counters.dependency_entries_sent += len(version.dependencies)
-            self.send(replica, ReplicateUpdate(
-                key=version.key, timestamp=version.timestamp,
-                origin_dc=version.origin_dc, value_size=version.size_bytes,
-                dependency_vector=version.dependency_vector,
-                dependencies=version.dependencies,
-                writer=version.writer, sequence=version.sequence))
-
-    def _handle_replicated_update(self, message: ReplicateUpdate) -> None:
-        self.clock.observe(message.timestamp)
-        self._observe_remote_timestamp(message.origin_dc, message.timestamp)
-        version = Version(key=message.key, value=None, timestamp=message.timestamp,
-                          origin_dc=message.origin_dc, size_bytes=message.value_size,
-                          dependency_vector=message.dependency_vector,
-                          dependencies=message.dependencies,
-                          created_at=self.sim.now, writer=message.writer,
-                          sequence=message.sequence)
-        self.store.install(version)
-
-    def _observe_remote_timestamp(self, origin_dc: int, timestamp: int) -> None:
-        if origin_dc == self.dc_id:
-            return
-        self.version_vector[origin_dc] = max(self.version_vector[origin_dc],
-                                             timestamp)
-
-    # -------------------------------------------------------------------- ROT
-    def _handle_coordinator_request(self, sender: "Node",
-                                    message: RotCoordinatorRequest) -> None:
-        snapshot = self._choose_snapshot(message)
-        if message.two_round:
-            self.send(sender, RotSnapshotReply(rot_id=message.rot_id,
-                                               snapshot=snapshot))
-            return
-        # 1 1/2-round mode: fan the reads out to the involved partitions, which
-        # reply to the client directly (three communication steps in total).
-        client = self.topology.client_by_id(message.client_id)
-        groups = self.partitioner.group_by_partition(list(message.keys))
-        for partition_index, keys in groups.items():
-            if partition_index == self.partition_index:
-                continue
-            target = self.topology.server(self.dc_id, partition_index)
-            self.send(target, RotProxyRead(rot_id=message.rot_id,
-                                           keys=tuple(keys), snapshot=snapshot,
-                                           client_id=message.client_id))
-        own_keys = groups.get(self.partition_index, [])
-        if own_keys:
-            self._serve_read(client, message.rot_id, tuple(own_keys), snapshot)
-
-    def _choose_snapshot(self, message: RotCoordinatorRequest) -> tuple[int, ...]:
-        snapshot = list(entrywise_max(self.gss, message.client_gss))
-        local = self.dc_id
-        snapshot[local] = max(self.clock.read(), message.client_local_ts)
-        registry = self.topology.rot_registry
-        if registry is not None:
-            # Fault runs track in-flight snapshots so version GC never evicts
-            # what this ROT may still need (min-active-snapshot retention).
-            registry.attach_snapshot(self.dc_id, message.rot_id, tuple(snapshot))
-        return tuple(snapshot)
-
-    def _handle_read(self, message: RotProxyRead | RotReadRequest, *,
-                     two_round: bool) -> None:
-        del two_round  # identical handling; kept for call-site clarity
-        client = self.topology.client_by_id(message.client_id)
-        wait = self.clock.catch_up(message.snapshot[self.dc_id])
-        if wait > 0:
-            # Physical clocks (Cure) block until the local clock reaches the
-            # snapshot timestamp; this is the latency penalty the paper
-            # attributes to clock skew.
-            self.counters.blocked_reads += 1
-            self.counters.total_block_time += wait
-            self.sim.schedule(wait,
-                              lambda: self._serve_read(client, message.rot_id,
-                                                       message.keys, message.snapshot),
-                              label="rot-block")
-            return
-        self._serve_read(client, message.rot_id, message.keys, message.snapshot)
-
-    def _serve_read(self, client: "Node", rot_id: str, keys: tuple[str, ...],
-                    snapshot: tuple[int, ...]) -> None:
-        results = tuple(self._read_key(key, snapshot) for key in keys)
-        self.send(client, RotValueReply(rot_id=rot_id, results=results,
-                                        snapshot=snapshot, gss=self.gss))
-
-    def _read_key(self, key: str, snapshot: tuple[int, ...]) -> ReadResult:
-        version = self.store.latest(
-            key, lambda v: v.is_visible()
-            and v.dependency_vector is not None
-            and vector_leq(v.dependency_vector, snapshot))
-        if version is None:
-            return ReadResult(key=key, timestamp=None, origin_dc=self.dc_id,
-                              value_size=0)
-        return ReadResult(key=key, timestamp=version.timestamp,
-                          origin_dc=version.origin_dc,
-                          value_size=version.size_bytes)
 
 
 __all__ = ["VectorServer"]

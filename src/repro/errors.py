@@ -47,3 +47,8 @@ class WorkloadError(ReproError):
 
 class TheoryError(ReproError):
     """Raised by the theoretical machinery (execution construction) on misuse."""
+
+
+class RuntimeBackendError(ReproError):
+    """A failure of the real-time (asyncio) backend: an operation timed out,
+    a task died, or the runtime was used after :meth:`close`."""

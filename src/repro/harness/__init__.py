@@ -59,6 +59,7 @@ from repro.harness.parallel import (
     run_grid,
     sweep_specs,
 )
+from repro.runtime.experiment import RealtimeOutcome, run_realtime_experiment
 from repro.harness.runner import ExperimentOutcome, load_sweep, run_experiment
 from repro.harness.figures import (
     FigureResult,
@@ -100,6 +101,8 @@ __all__ = [
     "parallel_load_sweep",
     "run_experiment",
     "run_grid",
+    "RealtimeOutcome",
+    "run_realtime_experiment",
     "section58_value_size",
     "sweep_specs",
     "table1_workloads",

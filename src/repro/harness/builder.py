@@ -12,15 +12,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.causal.checker import CausalConsistencyChecker
-from repro.causal.vectors import zero_vector
 from repro.cluster.config import ClusterConfig
-from repro.cluster.partitioning import HashPartitioner
+from repro.cluster.seeding import preload_initial_keyspace
 from repro.cluster.topology import ClusterTopology
 from repro.core.registry import resolve
 from repro.metrics.collectors import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.storage.version import Version
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.parameters import WorkloadParameters
 
@@ -36,22 +34,31 @@ class BuiltCluster:
     topology: ClusterTopology
     metrics: MetricsRegistry
     checker: Optional[CausalConsistencyChecker]
+    _stopped: bool = False
 
     def start(self) -> None:
         """Start server background tasks and client loops."""
+        self._stopped = False
         for server in self.topology.all_servers():
             server.start()
         for client in self.topology.clients:
             client.start()
 
     def stop(self) -> None:
-        """Stop clients and cancel periodic server tasks."""
+        """Stop clients and cancel periodic server tasks; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
         for client in self.topology.clients:
             client.stop()
         for server in self.topology.all_servers():
             stop = getattr(server, "stop_background_tasks", None)
             if callable(stop):
                 stop()
+
+    # ``close`` is the lifecycle spelling the facade uses; it is the same
+    # idempotent teardown.
+    close = stop
 
 
 def build_cluster(protocol: str, config: ClusterConfig,
@@ -84,7 +91,13 @@ def build_cluster(protocol: str, config: ClusterConfig,
             server = server_cls(topology, dc, partition)
             topology.add_server(server)
 
-    _preload_keyspace(topology, config, workload)
+    preload_initial_keyspace(
+        ((partition, topology.server(dc, partition).store)
+         for dc in range(config.num_dcs)
+         for partition in range(config.num_partitions)),
+        num_dcs=config.num_dcs,
+        keys_per_partition=config.keys_per_partition,
+        value_size=workload.value_size)
 
     for dc in range(config.num_dcs):
         for index in range(config.clients_per_dc):
@@ -97,27 +110,6 @@ def build_cluster(protocol: str, config: ClusterConfig,
     return BuiltCluster(protocol=protocol, config=config, workload=workload,
                         sim=sim, topology=topology, metrics=metrics,
                         checker=checker)
-
-
-def _preload_keyspace(topology: ClusterTopology, config: ClusterConfig,
-                      workload: WorkloadParameters) -> None:
-    """Install an initial version of every key in every DC.
-
-    The initial versions carry timestamp 0, an all-zero dependency vector and
-    no dependencies, so they belong to every snapshot and never trigger
-    readers checks.
-    """
-    initial_vector = zero_vector(config.num_dcs)
-    for dc in range(config.num_dcs):
-        for partition in range(config.num_partitions):
-            server = topology.server(dc, partition)
-            versions = (
-                Version(key=HashPartitioner.structured_key(partition, index),
-                        value=None, timestamp=0, origin_dc=0,
-                        size_bytes=workload.value_size,
-                        dependency_vector=initial_vector, visible=True)
-                for index in range(config.keys_per_partition))
-            server.store.preload(versions)
 
 
 __all__ = ["BuiltCluster", "build_cluster"]

@@ -20,7 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.metrics.latency import LatencyRecorder, LatencySummary
-from repro.sim.costs import OverheadCounters
+from repro.metrics.overheads import OverheadCounters
 
 #: Version of the ``as_json_dict`` payload layout.  Bump when the layout
 #: changes; ``RunResult.from_json_dict`` accepts every version listed in

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.sim.engine import as_milliseconds
+from repro.clocks.units import as_milliseconds
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,36 @@
+"""Real-time backend: the sans-I/O protocol kernels on asyncio.
+
+This package is the second driver of the protocol kernels in
+:mod:`repro.core` (the first is the discrete-event simulator in
+:mod:`repro.sim`).  Servers and clients become asyncio tasks exchanging
+messages through in-process mailboxes on wall-clock time — real concurrency,
+real HLC/physical clocks, the same protocol logic, the same metrics and the
+same causal-consistency checker.
+
+Entry points:
+
+* :func:`~repro.runtime.experiment.run_realtime_experiment` — a
+  workload-driven wall-clock run returning a
+  :class:`~repro.metrics.collectors.RunResult`;
+* ``CausalStore(backend="realtime")`` (:mod:`repro.api`) — the interactive
+  facade served by this backend;
+* :class:`~repro.runtime.cluster.RealtimeCluster` — the building block both
+  use.
+"""
+
+from repro.runtime.cluster import RealtimeCluster
+from repro.runtime.experiment import (
+    DEFAULT_REALTIME_DURATION,
+    RealtimeOutcome,
+    run_realtime_experiment,
+)
+from repro.runtime.nodes import RealtimeClient, RealtimeServer
+
+__all__ = [
+    "DEFAULT_REALTIME_DURATION",
+    "RealtimeClient",
+    "RealtimeCluster",
+    "RealtimeOutcome",
+    "RealtimeServer",
+    "run_realtime_experiment",
+]

@@ -1,0 +1,196 @@
+"""In-process real-time cluster: kernels wired over asyncio mailboxes.
+
+A :class:`RealtimeCluster` is the real-time analogue of the harness builder
+plus :class:`~repro.cluster.topology.ClusterTopology`: it instantiates one
+sans-I/O server kernel per (DC, partition) pair, preloads the keyspace
+exactly like the simulated builder, creates clients, and routes kernel
+:class:`~repro.core.common.kernel.Send` effects between the nodes'
+:class:`asyncio.Queue` mailboxes.  Time is wall-clock
+(:class:`~repro.clocks.timesource.WallClock`), so HLC physical components
+and Cure's skew-induced blocking are driven by the actual clock.
+
+Message channels are in-process queues: delivery is FIFO per receiver and
+effectively instantaneous — the real-time backend measures protocol and
+scheduling behaviour under genuine concurrency, not WAN latency (the
+simulator models that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional
+
+from repro.causal.checker import CausalConsistencyChecker
+from repro.clocks.timesource import WallClock
+from repro.cluster.config import ClusterConfig
+from repro.cluster.partitioning import HashPartitioner
+from repro.cluster.seeding import preload_initial_keyspace
+from repro.core.common.kernel import Addr, ClientAddr, ServerAddr
+from repro.core.registry import resolve_spec
+from repro.errors import ConfigurationError, RuntimeBackendError
+from repro.metrics.collectors import MetricsRegistry
+from repro.metrics.overheads import OverheadCounters
+from repro.runtime.nodes import RealtimeClient, RealtimeServer
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+
+
+class RealtimeCluster:
+    """All real-time nodes of one run, indexed by DC and partition.
+
+    Parameters
+    ----------
+    protocol:
+        Registered protocol name; the registration must carry kernel classes
+        (see :func:`repro.core.registry.register_protocol`).
+    config / workload:
+        Same objects the simulated builder takes.
+    enable_checker:
+        Record every PUT/ROT for the causal-consistency checker.
+    workload_clients:
+        Create the ``config.clients_per_dc`` closed-loop clients.  The
+        :class:`~repro.api.CausalStore` facade passes ``False`` and attaches
+        interactive clients instead.
+    """
+
+    def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
+                 workload: Optional[WorkloadParameters] = None, *,
+                 enable_checker: bool = False,
+                 workload_clients: bool = True) -> None:
+        self.protocol = protocol
+        self.config = config = config or ClusterConfig()
+        self.workload = workload = workload or DEFAULT_WORKLOAD
+        spec = resolve_spec(protocol)
+        if spec.kernel is None or spec.client_kernel is None:
+            raise ConfigurationError(
+                f"protocol {protocol!r} is registered without sans-I/O "
+                f"kernels; the realtime backend needs them")
+        self._spec = spec
+        self.clock = WallClock()
+        self.partitioner = HashPartitioner(config.num_partitions)
+        self.metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
+        self.checker = CausalConsistencyChecker() if enable_checker else None
+        self._closed = False
+        self._started = False
+
+        self.servers: dict[tuple[int, int], RealtimeServer] = {}
+        for dc in range(config.num_dcs):
+            for partition in range(config.num_partitions):
+                skew_rng = random.Random(
+                    f"{config.seed}:clock-skew:{dc}:{partition}")
+                offset = config.skew_model.draw_offset(skew_rng)
+                kernel = spec.kernel.from_config(
+                    config, dc, partition, partitioner=self.partitioner,
+                    time_source=self.clock, skew_offset_us=offset)
+                self.servers[(dc, partition)] = RealtimeServer(self, kernel)
+        self._preload_keyspace()
+
+        self.clients: list[RealtimeClient] = []
+        self._clients_by_id: dict[str, RealtimeClient] = {}
+        if workload_clients:
+            for dc in range(config.num_dcs):
+                for index in range(config.clients_per_dc):
+                    generator = WorkloadGenerator(
+                        workload, self.partitioner, config.keys_per_partition,
+                        rng=random.Random(f"{config.seed}:workload:{dc}:{index}"))
+                    self.add_client(dc, index, generator=generator)
+
+    def _preload_keyspace(self) -> None:
+        """Seed every store with the shared initial-keyspace invariant."""
+        preload_initial_keyspace(
+            ((partition, server.store)
+             for (_dc, partition), server in self.servers.items()),
+            num_dcs=self.config.num_dcs,
+            keys_per_partition=self.config.keys_per_partition,
+            value_size=self.workload.value_size)
+
+    # ---------------------------------------------------------------- clients
+    def add_client(self, dc: int, index: int, *,
+                   generator=None) -> RealtimeClient:
+        """Create (and register) a client bound to data center ``dc``."""
+        client_id = f"client-dc{dc}-{index}"
+        kernel = self._spec.client_kernel.from_config(
+            self.config, client_id, dc, partitioner=self.partitioner,
+            rng=random.Random(f"{self.config.seed}:client:{dc}:{index}"))
+        client = RealtimeClient(self, kernel, generator=generator)
+        self.clients.append(client)
+        self._clients_by_id[client_id] = client
+        if self._started:
+            client.start()
+        return client
+
+    def clients_in_dc(self, dc: int) -> list[RealtimeClient]:
+        """Clients attached to data center ``dc``."""
+        return [client for client in self.clients if client.dc_id == dc]
+
+    # ---------------------------------------------------------------- routing
+    def route(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
+        """Deliver a kernel Send effect to the destination mailbox."""
+        if isinstance(dest, ServerAddr):
+            try:
+                node = self.servers[(dest.dc, dest.partition)]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"no server at DC {dest.dc} partition {dest.partition}") \
+                    from exc
+        elif isinstance(dest, ClientAddr):
+            try:
+                node = self._clients_by_id[dest.client_id]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"unknown client {dest.client_id!r}") from exc
+        else:
+            raise ConfigurationError(f"cannot route to {dest!r}")
+        node.deliver(sender, message)
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Spawn every node's tasks on the running event loop."""
+        if self._closed:
+            raise RuntimeBackendError("cluster is closed")
+        if self._started:
+            # Idempotent: a second start must not duplicate pump/timer tasks
+            # (doubled stabilization and heartbeat traffic otherwise).
+            return
+        # Re-zero the run clock: construction work (keyspace preload) must
+        # not eat into the warmup window the metrics discard.
+        self.clock.reset()
+        self._started = True
+        for server in self.servers.values():
+            server.start()
+        for client in self.clients:
+            client.start()
+
+    async def stop(self) -> None:
+        """Cancel every node task; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self.clients:
+            await client.stop()
+        for server in self.servers.values():
+            await server.stop()
+
+    def first_failure(self) -> Optional[BaseException]:
+        """The first exception that killed any node task, if one did.
+
+        A dead pump or timer task otherwise only manifests as downstream
+        operation timeouts; the experiment runner raises this root cause
+        instead.
+        """
+        for node in [*self.servers.values(), *self.clients]:
+            if node.failure is not None:
+                return node.failure
+        return None
+
+    # ------------------------------------------------------------------ stats
+    def overhead(self) -> OverheadCounters:
+        """Merged overhead counters across all partition servers."""
+        overhead = OverheadCounters()
+        for server in self.servers.values():
+            overhead.merge(server.counters)
+        return overhead
+
+
+__all__ = ["RealtimeCluster"]

@@ -1,0 +1,128 @@
+"""Workload-driven runs on the real-time (asyncio) backend.
+
+:func:`run_realtime_experiment` is the wall-clock sibling of
+:func:`repro.harness.runner.run_experiment`: it builds a
+:class:`~repro.runtime.cluster.RealtimeCluster`, serves genuinely concurrent
+closed-loop clients for a wall-clock duration, and condenses the measured
+latencies/overheads into the same :class:`~repro.metrics.collectors.RunResult`
+row format the figures use — so simulated and real-time numbers can sit in
+the same table (``benchmarks/run_smoke_benchmark.py --backend realtime``).
+
+Real seconds are expensive compared to simulated ones, so the default
+duration is deliberately short; pass ``duration_seconds`` explicitly for
+longer measurements.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.causal.checker import CheckerReport
+from repro.cluster.config import ClusterConfig
+from repro.errors import ConfigurationError, RuntimeBackendError
+from repro.metrics.collectors import RunResult
+from repro.runtime.cluster import RealtimeCluster
+from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
+
+#: Default wall-clock run length (seconds) including warmup.
+DEFAULT_REALTIME_DURATION = 1.0
+
+
+@dataclass
+class RealtimeOutcome:
+    """The full outcome of one real-time run (result row plus state)."""
+
+    result: RunResult
+    cluster: RealtimeCluster
+    checker_report: Optional[CheckerReport] = None
+
+
+def run_realtime_experiment(protocol: str,
+                            config: Optional[ClusterConfig] = None,
+                            workload: Optional[WorkloadParameters] = None, *,
+                            duration_seconds: Optional[float] = None,
+                            enable_checker: bool = False,
+                            check_consistency: bool = False,
+                            label: str = "") -> RealtimeOutcome:
+    """Run one wall-clock experiment and return its outcome.
+
+    Parameters mirror :func:`repro.harness.runner.run_experiment`;
+    ``duration_seconds`` (wall-clock, including the config's warmup window)
+    defaults to :data:`DEFAULT_REALTIME_DURATION` rather than the config's
+    simulated duration, because real seconds actually elapse.
+    """
+    config = config or ClusterConfig.test_scale()
+    workload = workload or DEFAULT_WORKLOAD
+    duration = (DEFAULT_REALTIME_DURATION if duration_seconds is None
+                else duration_seconds)
+    if duration <= config.warmup_seconds:
+        # Mirror ClusterConfig's own duration/warmup validation instead of
+        # silently stretching an explicitly requested duration.
+        raise ConfigurationError(
+            f"duration_seconds ({duration}) must be greater than the "
+            f"config's warmup_seconds ({config.warmup_seconds})")
+
+    cluster = RealtimeCluster(protocol, config, workload,
+                              enable_checker=enable_checker or check_consistency)
+
+    async def _run() -> None:
+        await cluster.start()
+        stop = asyncio.Event()
+        loops = [asyncio.ensure_future(client.run_closed_loop(stop))
+                 for client in cluster.clients]
+        await asyncio.sleep(duration)
+        stop.set()
+        # Closed loops re-check ``stop`` after the in-flight operation; give
+        # them a bounded grace period, then tear everything down.  A client
+        # loop that died (protocol bug, operation timeout) must FAIL the run
+        # — degraded numbers with exit 0 would defeat the CI smoke job.
+        stuck: list[asyncio.Task] = []
+        errors: list[BaseException] = []
+        if loops:
+            done, pending = await asyncio.wait(loops, timeout=10.0)
+            stuck = list(pending)
+            for task in stuck:
+                task.cancel()
+            if stuck:
+                await asyncio.gather(*stuck, return_exceptions=True)
+            errors = [error for task in done
+                      if not task.cancelled()
+                      and (error := task.exception()) is not None]
+        await cluster.stop()
+        # Root cause first: a dead server pump explains both the client-side
+        # timeout errors and any stuck loops.
+        failure = cluster.first_failure()
+        if failure is not None:
+            raise failure
+        if errors:
+            raise errors[0]
+        if stuck:
+            raise RuntimeBackendError(
+                f"{len(stuck)} closed-loop client(s) failed to stop within "
+                f"the grace period (an operation is stuck)")
+
+    asyncio.run(_run())
+
+    measurement = max(duration - config.warmup_seconds, 1e-9)
+    result = cluster.metrics.finalize(
+        protocol=protocol,
+        num_dcs=config.num_dcs,
+        clients=config.total_clients,
+        measurement_seconds=measurement,
+        overhead=cluster.overhead(),
+        cpu_utilization=0.0,
+        label=label or f"realtime {workload.describe()}")
+
+    report: Optional[CheckerReport] = None
+    if cluster.checker is not None:
+        report = cluster.checker.check()
+        if check_consistency:
+            report.raise_if_violations()
+    return RealtimeOutcome(result=result, cluster=cluster,
+                           checker_report=report)
+
+
+__all__ = ["DEFAULT_REALTIME_DURATION", "RealtimeOutcome",
+           "run_realtime_experiment"]

@@ -1,0 +1,269 @@
+"""Real-time (asyncio) drivers for the sans-I/O protocol kernels.
+
+Where the simulated backend wraps a kernel in a
+:class:`~repro.sim.node.Node` with a FIFO CPU queue and virtual time, the
+real-time backend wraps the *same kernel* in an asyncio task with a real
+mailbox (:class:`asyncio.Queue`) and wall-clock time:
+
+* :class:`RealtimeServer` — one task draining the mailbox; every message is
+  fed to ``kernel.on_message`` and the returned effects are executed
+  immediately (sends route through the cluster, ``SetTimer`` becomes an
+  ``asyncio.sleep`` task, periodic timers become looping tasks).
+* :class:`RealtimeClient` — the closed-loop / interactive client: it issues
+  an operation by executing the client kernel's effects and awaits the
+  :class:`~repro.core.common.kernel.Complete` effect, recording wall-clock
+  latency into the shared :class:`~repro.metrics.collectors.MetricsRegistry`
+  and (optionally) the operation history for the causal checker.
+
+Kernels are only ever touched from the event loop's thread, and every
+``on_message`` / ``on_timer`` call runs synchronously between awaits, so no
+locking is needed despite the genuine concurrency between clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Optional
+
+from repro.causal.checker import RecordedPut, RecordedRead, RecordedRot
+from repro.core.common.kernel import (
+    Addr,
+    ClientAddr,
+    ClientKernel,
+    Complete,
+    Effect,
+    PutOutcome,
+    RotOutcome,
+    Send,
+    ServerAddr,
+    ServerKernel,
+    SetTimer,
+    TimerSpec,
+)
+from repro.errors import ProtocolError, RuntimeBackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.cluster import RealtimeCluster
+
+#: Upper bound on one operation's wall-clock completion (a generous guard:
+#: in-process operations complete in microseconds; hitting this means a
+#: protocol bug, and failing beats hanging CI).
+OPERATION_TIMEOUT_SECONDS = 30.0
+
+
+class _MailboxNode:
+    """Shared mailbox/task machinery of the real-time nodes."""
+
+    def __init__(self, cluster: "RealtimeCluster") -> None:
+        self.cluster = cluster
+        self.mailbox: asyncio.Queue = asyncio.Queue()
+        self._tasks: set[asyncio.Task] = set()
+        #: First exception that killed one of this node's tasks; surfaced by
+        #: :meth:`RealtimeCluster.first_failure` so a dead pump fails the run
+        #: with its root cause instead of an opaque downstream timeout.
+        self.failure: Optional[BaseException] = None
+
+    def deliver(self, sender: Addr, message: object) -> None:
+        """Called by the cluster router when a message arrives here."""
+        self.mailbox.put_nowait((sender, message))
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._task_done)
+        return task
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if not task.cancelled():
+            error = task.exception()
+            if error is not None and self.failure is None:
+                self.failure = error
+
+    def start(self) -> None:
+        """Spawn this node's tasks on the running event loop."""
+        self._spawn(self._pump())
+
+    async def stop(self) -> None:
+        """Cancel every task this node spawned."""
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+
+    async def _pump(self) -> None:
+        raise NotImplementedError
+
+
+class RealtimeServer(_MailboxNode):
+    """An asyncio task serving one partition through its kernel."""
+
+    def __init__(self, cluster: "RealtimeCluster", kernel: ServerKernel) -> None:
+        super().__init__(cluster)
+        self.kernel = kernel
+        self.addr = ServerAddr(kernel.dc_id, kernel.partition_index)
+        self.node_id = kernel.node_id
+
+    # ------------------------------------------------------------------ store
+    @property
+    def store(self):
+        return self.kernel.store
+
+    @property
+    def counters(self):
+        return self.kernel.counters
+
+    # ---------------------------------------------------------------- effects
+    def execute_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.counters.messages_sent += 1
+                size_fn = getattr(effect.message, "size_bytes", None)
+                if callable(size_fn):
+                    self.counters.bytes_sent += int(size_fn())
+                self.cluster.route(self.addr, effect.dest, effect.message)
+            elif isinstance(effect, SetTimer):
+                self._spawn(self._one_shot(effect))
+            else:
+                raise ProtocolError(
+                    f"{self.node_id} cannot execute effect {effect!r}")
+
+    async def _one_shot(self, timer: SetTimer) -> None:
+        await asyncio.sleep(timer.delay)
+        self.execute_effects(self.kernel.on_timer(
+            timer.tag, timer.payload, self.cluster.clock.now))
+
+    async def _periodic(self, spec: TimerSpec) -> None:
+        delay = spec.interval if spec.start_delay is None else spec.start_delay
+        await asyncio.sleep(delay)
+        while True:
+            self.execute_effects(self.kernel.on_timer(
+                spec.tag, None, self.cluster.clock.now))
+            await asyncio.sleep(spec.interval)
+
+    def start(self) -> None:
+        super().start()
+        for spec in self.kernel.periodic_timers():
+            self._spawn(self._periodic(spec))
+
+    async def _pump(self) -> None:
+        while True:
+            sender, message = await self.mailbox.get()
+            self.execute_effects(self.kernel.on_message(
+                sender, message, self.cluster.clock.now))
+
+
+class RealtimeClient(_MailboxNode):
+    """A client driving one operation at a time through its kernel.
+
+    Used in two modes: *closed loop* (:meth:`run_closed_loop`, the load
+    generator of :func:`repro.runtime.experiment.run_realtime_experiment`)
+    and *interactive* (:meth:`perform`, the realtime backend of
+    :class:`repro.api.CausalStore`).
+    """
+
+    def __init__(self, cluster: "RealtimeCluster", kernel: ClientKernel,
+                 generator=None) -> None:
+        super().__init__(cluster)
+        self.kernel = kernel
+        self.node_id = kernel.client_id
+        self.addr = ClientAddr(kernel.client_id)
+        self.dc_id = kernel.dc_id
+        self.generator = generator
+        self.metrics = cluster.metrics
+        self.checker = cluster.checker
+        self.sequence = 0
+        self._op_started_at = 0.0
+        self._op_future: Optional[asyncio.Future] = None
+        # Set when an operation timed out: the kernel still considers that
+        # operation in flight, so a later completion could otherwise resolve
+        # (and mis-record) the *next* operation.  A broken client refuses
+        # further operations instead.
+        self._broken: Optional[str] = None
+
+    # ---------------------------------------------------------------- effects
+    def execute_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.cluster.route(self.addr, effect.dest, effect.message)
+            elif isinstance(effect, Complete):
+                self._finish(effect)
+            else:
+                raise ProtocolError(
+                    f"{self.node_id} cannot execute effect {effect!r}")
+
+    def _finish(self, effect: Complete) -> None:
+        now = self.cluster.clock.now
+        result = effect.result
+        if effect.op == "put":
+            assert isinstance(result, PutOutcome)
+            self.metrics.record_put(self._op_started_at, now)
+            if self.checker is not None:
+                self.checker.record_put(RecordedPut(
+                    key=result.key, timestamp=result.timestamp,
+                    origin_dc=result.origin_dc, client=self.node_id,
+                    sequence=self.sequence,
+                    dependencies=result.dependencies))
+        else:
+            assert isinstance(result, RotOutcome)
+            self.metrics.record_rot(self._op_started_at, now)
+            if self.checker is not None:
+                reads = tuple(RecordedRead(key=r.key, timestamp=r.timestamp,
+                                           origin_dc=r.origin_dc)
+                              for r in result.results.values())
+                self.checker.record_rot(RecordedRot(
+                    rot_id=result.rot_id, client=self.node_id,
+                    sequence=self.sequence, reads=reads))
+        future, self._op_future = self._op_future, None
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    # ------------------------------------------------------------- operations
+    async def perform(self, operation,
+                      timeout: float = OPERATION_TIMEOUT_SECONDS):
+        """Issue ``operation`` and wait for its completion.
+
+        Returns the kernel's outcome (:class:`PutOutcome` /
+        :class:`RotOutcome`).
+        """
+        if self._broken is not None:
+            raise RuntimeBackendError(
+                f"{self.node_id} is unusable after a timed-out operation: "
+                f"{self._broken}")
+        if self._op_future is not None:
+            raise RuntimeBackendError(
+                f"{self.node_id} already has an operation in flight")
+        self.sequence += 1
+        self.metrics.note_issue(operation.is_put)
+        self._op_started_at = self.cluster.clock.now
+        self._op_future = asyncio.get_running_loop().create_future()
+        self.execute_effects(self.kernel.start_operation(
+            operation, self.sequence, self._op_started_at))
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(self._op_future), timeout)
+        except asyncio.TimeoutError as exc:
+            self._op_future = None
+            self._broken = (f"operation {operation.kind} (sequence "
+                            f"{self.sequence}) did not complete within "
+                            f"{timeout}s")
+            raise RuntimeBackendError(
+                f"{self.node_id}: {self._broken}") from exc
+
+    async def run_closed_loop(self, stop: asyncio.Event) -> None:
+        """Issue operations back-to-back until ``stop`` is set."""
+        while not stop.is_set():
+            await self.perform(self.generator.next_operation())
+
+    async def _pump(self) -> None:
+        while True:
+            _sender, message = await self.mailbox.get()
+            self.execute_effects(self.kernel.on_message(
+                message, self.cluster.clock.now))
+
+
+__all__ = ["OPERATION_TIMEOUT_SECONDS", "RealtimeClient", "RealtimeServer"]

@@ -14,12 +14,16 @@ import itertools
 import random
 from typing import Callable, Optional
 
+from repro.clocks.units import (  # noqa: F401 - re-exported for compatibility
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    as_microseconds,
+    as_milliseconds,
+    microseconds,
+    milliseconds,
+)
 from repro.errors import SimulationError
-
-#: Convenience conversion factors.  Simulated time is expressed in seconds.
-MICROSECOND = 1e-6
-MILLISECOND = 1e-3
-SECOND = 1.0
 
 
 class Event:
@@ -184,26 +188,6 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"Simulator(now={self._now:.6f}, pending={len(self._queue)}, "
                 f"processed={self._processed})")
-
-
-def microseconds(value: float) -> float:
-    """Convert microseconds to simulated seconds."""
-    return value * MICROSECOND
-
-
-def milliseconds(value: float) -> float:
-    """Convert milliseconds to simulated seconds."""
-    return value * MILLISECOND
-
-
-def as_milliseconds(value: float) -> float:
-    """Convert simulated seconds to milliseconds (for reporting)."""
-    return value / MILLISECOND
-
-
-def as_microseconds(value: float) -> float:
-    """Convert simulated seconds to microseconds (for reporting)."""
-    return value / MICROSECOND
 
 
 class PeriodicTask:

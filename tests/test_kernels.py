@@ -1,0 +1,344 @@
+"""Isolated tests of the sans-I/O protocol kernels.
+
+Each kernel is driven with hand-crafted message sequences — no simulator, no
+event loop, no cluster — and the emitted effects are asserted directly.
+This is the payoff of the kernel/driver split: the protocol logic (including
+the CC-LO readers check and the HLC snapshot-advance edge cases) is testable
+as a pure state machine.
+"""
+
+import sys
+
+import pytest
+
+from repro.clocks.timesource import FixedClock
+from repro.cluster.partitioning import HashPartitioner
+from repro.core.cclo.kernel import CcloClientKernel, CcloKernel
+from repro.core.common.kernel import (
+    ClientAddr,
+    Complete,
+    Send,
+    ServerAddr,
+    SetTimer,
+)
+from repro.core.common.messages import (
+    CcloPutReply,
+    CcloPutRequest,
+    OneRoundReadRequest,
+    ReadersCheckReply,
+    ReadersCheckRequest,
+    ReplicateUpdate,
+    RotCoordinatorRequest,
+    RotProxyRead,
+    RotValueReply,
+    VectorPutReply,
+    VectorPutRequest,
+)
+from repro.core.vector.clockbox import ClockBox
+from repro.core.vector.kernel import VectorClientKernel, VectorServerKernel
+from repro.errors import ProtocolError
+from repro.storage.version import Version
+
+import random
+
+
+class TestSansIoImport:
+    def test_kernel_modules_do_not_import_the_simulator(self):
+        """Acceptance criterion: kernels import with no repro.sim dependency."""
+        saved = {name: module for name, module in sys.modules.items()
+                 if name.startswith("repro")}
+        for name in saved:
+            del sys.modules[name]
+        try:
+            import repro.core.vector.kernel  # noqa: F401
+            import repro.core.cclo.kernel  # noqa: F401
+            import repro.core.common.kernel  # noqa: F401
+            sim_modules = [name for name in sys.modules
+                           if name.startswith("repro.sim")]
+            assert sim_modules == []
+        finally:
+            # Restore the originally imported modules so every other test
+            # keeps its class identities (isinstance checks!).
+            for name in [n for n in sys.modules if n.startswith("repro")]:
+                del sys.modules[name]
+            sys.modules.update(saved)
+
+
+def vector_kernel(mode="hlc", num_dcs=2, clock=None, partitions=4):
+    time_source = clock or FixedClock(0.0)
+    return VectorServerKernel(
+        node_id="server-dc0-p0", dc_id=0, partition_index=0,
+        num_dcs=num_dcs, num_partitions=partitions,
+        partitioner=HashPartitioner(partitions),
+        clock=ClockBox(mode, time_source, offset_us=0.0),
+        stabilization_interval=0.005, heartbeat_interval=0.010)
+
+
+def key_on(partition, index=0):
+    return HashPartitioner.structured_key(partition, index)
+
+
+class TestVectorServerKernel:
+    def test_put_emits_reply_then_replication(self):
+        kernel = vector_kernel()
+        request = VectorPutRequest(key=key_on(0), value_size=8,
+                                   client_vector=(0, 0), client_id="c", sequence=1)
+        effects = kernel.on_message(ClientAddr("c"), request, now=0.0)
+        assert [type(e) for e in effects] == [Send, Send]
+        reply, replicate = effects
+        assert reply.dest == ClientAddr("c")
+        assert isinstance(reply.message, VectorPutReply)
+        assert replicate.dest == ServerAddr(1, 0)
+        assert isinstance(replicate.message, ReplicateUpdate)
+        installed = kernel.store.latest_visible(key_on(0))
+        assert installed.timestamp == reply.message.timestamp
+        assert installed.dependency_vector[0] == installed.timestamp
+
+    def test_snapshot_local_entry_honours_client_timestamp(self):
+        """HLC snapshot-advance edge: a client ahead of the coordinator's
+        clock pushes the snapshot's local entry to its own timestamp."""
+        kernel = vector_kernel()
+        ahead = 10_000_000
+        request = RotCoordinatorRequest(rot_id="c#1", keys=(key_on(0),),
+                                        client_local_ts=ahead,
+                                        client_gss=(0, 0), client_id="c",
+                                        two_round=False)
+        effects = kernel.on_message(ClientAddr("c"), request, now=0.0)
+        (reply,) = effects
+        assert isinstance(reply.message, RotValueReply)
+        assert reply.message.snapshot[0] == ahead
+
+    def test_hlc_read_at_future_snapshot_never_blocks_and_advances_clock(self):
+        """HLC snapshot-advance edge: serving a snapshot ahead of the local
+        HLC must not block, and must move the clock so later PUTs order
+        after the snapshot."""
+        kernel = vector_kernel()
+        future_ts = 5_000_000
+        read = RotProxyRead(rot_id="c#1", keys=(key_on(0),),
+                            snapshot=(future_ts, 0), client_id="c")
+        effects = kernel.on_message(ServerAddr(0, 1), read, now=0.0)
+        assert [type(e) for e in effects] == [Send]  # no SetTimer: nonblocking
+        assert kernel.counters.blocked_reads == 0
+        assert kernel.clock.read() >= future_ts
+        put = VectorPutRequest(key=key_on(0), value_size=8,
+                               client_vector=(0, 0), client_id="c", sequence=2)
+        (reply, _replicate) = kernel.on_message(ClientAddr("c"), put, now=0.0)
+        assert reply.message.timestamp > future_ts
+
+    def test_physical_read_at_future_snapshot_emits_blocking_timer(self):
+        clock = FixedClock(0.0)
+        kernel = vector_kernel(mode="physical", clock=clock)
+        read = RotProxyRead(rot_id="c#1", keys=(key_on(0),),
+                            snapshot=(5_000, 0), client_id="c")
+        effects = kernel.on_message(ServerAddr(0, 1), read, now=0.0)
+        (timer,) = effects
+        assert isinstance(timer, SetTimer) and timer.tag == "rot-block"
+        assert timer.delay == pytest.approx(0.005)
+        assert kernel.counters.blocked_reads == 1
+        # Once the clock has caught up, firing the timer serves the read.
+        clock.advance(0.005)
+        served = kernel.on_timer(timer.tag, timer.payload, now=0.005)
+        assert [type(e) for e in served] == [Send]
+        assert served[0].dest == ClientAddr("c")
+
+    def test_stabilization_timer_broadcasts_to_local_peers(self):
+        kernel = vector_kernel(num_dcs=1, partitions=3)
+        tags = [spec.tag for spec in kernel.periodic_timers()]
+        assert tags == ["stabilization"]  # no heartbeats with a single DC
+        effects = kernel.on_timer("stabilization", None, now=0.0)
+        assert [e.dest for e in effects] == [ServerAddr(0, 1), ServerAddr(0, 2)]
+
+    def test_unknown_message_rejected(self):
+        kernel = vector_kernel()
+        with pytest.raises(ProtocolError):
+            kernel.on_message(ClientAddr("c"), object(), now=0.0)
+
+    def test_unknown_timer_rejected(self):
+        kernel = vector_kernel()
+        with pytest.raises(ProtocolError):
+            kernel.on_timer("sundial", None, now=0.0)
+
+
+def cclo_kernel(num_dcs=1, partitions=4):
+    return CcloKernel(node_id="server-dc0-p0", dc_id=0, partition_index=0,
+                      num_dcs=num_dcs, num_partitions=partitions,
+                      partitioner=HashPartitioner(partitions),
+                      gc_window_seconds=0.5, one_id_per_client=True)
+
+
+def visible_version(key, timestamp):
+    return Version(key=key, value=None, timestamp=timestamp, origin_dc=0,
+                   size_bytes=8, visible=True)
+
+
+class TestCcloKernel:
+    def test_readers_check_collects_old_readers_across_partitions(self):
+        """The full readers-check exchange, driven message by message."""
+        kernel = cclo_kernel(num_dcs=2)
+        local_key, remote_key = key_on(0), key_on(1)
+        kernel.store.install(visible_version(local_key, 1))
+        kernel.store.install(visible_version(remote_key, 1))
+
+        # A ROT reads the local key: it becomes that key's current reader.
+        read = OneRoundReadRequest(rot_id="c1#1", keys=(local_key,),
+                                   client_id="c1")
+        (reply,) = kernel.on_message(ClientAddr("c1"), read, now=0.0)
+        assert reply.message.results[0].timestamp == 1
+        assert kernel.readers.current_reader_count(local_key) == 1
+
+        # A PUT depending on both keys: the remote dependency's partition
+        # must be asked for old readers before the version becomes visible.
+        put = CcloPutRequest(key=local_key, value_size=8,
+                             dependencies=((local_key, 1, 0), (remote_key, 1, 0)),
+                             dependency_partitions=(0, 1),
+                             client_id="c2", sequence=1)
+        effects = kernel.on_message(ClientAddr("c2"), put, now=0.1)
+        (check,) = effects
+        assert check.dest == ServerAddr(0, 1)
+        assert isinstance(check.message, ReadersCheckRequest)
+        assert not kernel.store.latest(local_key,
+                                       lambda v: v.timestamp > 1).visible
+
+        # The dependency partition answers with an old reader; the check
+        # finalizes: version visible, client acked, replica updated, and the
+        # old reader inherited onto the written key.
+        answer = ReadersCheckReply(check_id=check.message.check_id,
+                                   old_readers=(("c9#7", 42),))
+        effects = kernel.on_message(ServerAddr(0, 1), answer, now=0.2)
+        dests = [e.dest for e in effects]
+        assert ClientAddr("c2") in dests and ServerAddr(1, 0) in dests
+        assert any(isinstance(e.message, CcloPutReply) for e in effects)
+        new_version = kernel.store.latest_visible(local_key)
+        assert new_version.timestamp > 1 and new_version.visible
+        assert "c9#7" in new_version.old_readers
+        assert kernel.counters.readers_checks == 1
+        # Old-reader inheritance: c9#7 is now an old reader of the key too.
+        assert ("c9#7", 42) in kernel.readers.old_readers_of(local_key, now=0.3)
+
+    def test_barred_reader_falls_back_to_older_version(self):
+        kernel = cclo_kernel()
+        key = key_on(0)
+        kernel.store.install(visible_version(key, 1))
+        newer = Version(key=key, value=None, timestamp=2, origin_dc=0,
+                        size_bytes=8, visible=True,
+                        old_readers={"c1#1": 10})
+        kernel.store.install(newer)
+        read = OneRoundReadRequest(rot_id="c1#1", keys=(key,), client_id="c1")
+        (reply,) = kernel.on_message(ClientAddr("c1"), read, now=0.0)
+        # The barred ROT gets the *older* version (latency-optimal: it never
+        # blocks or retries) and is recorded as an old reader.
+        assert reply.message.results[0].timestamp == 1
+        assert ("c1#1" in dict(kernel.readers.old_readers_of(key, now=0.1)))
+
+    def test_local_only_dependencies_complete_synchronously(self):
+        kernel = cclo_kernel(num_dcs=1)
+        key = key_on(0)
+        kernel.store.install(visible_version(key, 1))
+        put = CcloPutRequest(key=key, value_size=8,
+                             dependencies=((key, 1, 0),),
+                             dependency_partitions=(0,),
+                             client_id="c", sequence=1)
+        effects = kernel.on_message(ClientAddr("c"), put, now=0.0)
+        # Single DC, dependency on the writing partition itself: the check
+        # needs no network round and the PUT acks immediately.
+        assert [type(e) for e in effects] == [Send]
+        assert isinstance(effects[0].message, CcloPutReply)
+
+    def test_gc_timer_purges_expired_reader_records(self):
+        kernel = cclo_kernel()
+        key = key_on(0)
+        kernel.readers.record_old_reader(key, "c1#1", "c1", 5, now=0.0)
+        assert kernel.periodic_timers()[0].tag == "cclo-gc"
+        kernel.on_timer("cclo-gc", None, now=10.0)
+        assert kernel.readers.total_tracked_entries() == 0
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            cclo_kernel().on_message(ClientAddr("c"), object(), now=0.0)
+
+
+class TestClientKernels:
+    def _vector_client(self, two_round=False):
+        return VectorClientKernel(client_id="client-dc0-0", dc_id=0, num_dcs=2,
+                                  partitioner=HashPartitioner(4),
+                                  rng=random.Random(7), two_round=two_round)
+
+    def test_put_reply_completes_with_pre_put_dependencies(self):
+        kernel = self._vector_client()
+        op = _Op("put", (key_on(0),))
+        (send,) = kernel.start_operation(op, sequence=1, now=0.0)
+        assert send.dest == ServerAddr(0, 0)
+        assert isinstance(send.message, VectorPutRequest)
+        (done,) = kernel.on_message(
+            VectorPutReply(key=key_on(0), timestamp=9, gss=(3, 4)), now=0.1)
+        assert isinstance(done, Complete) and done.op == "put"
+        # The first PUT has no prior causal context...
+        assert done.result.dependencies == ()
+        # ...but the kernel folded the reply into its context for the next op.
+        assert kernel.local_ts_seen == 9
+        assert kernel.gss_seen == (3, 4)
+        assert kernel.checker_dependencies() == ((key_on(0), 9, 0),)
+
+    def test_rot_completes_after_every_partition_replied(self):
+        kernel = self._vector_client()
+        op = _Op("rot", (key_on(0), key_on(1)))
+        (send,) = kernel.start_operation(op, sequence=2, now=0.0)
+        assert isinstance(send.message, RotCoordinatorRequest)
+        snapshot = (5, 5)
+        from repro.core.common.messages import ReadResult
+        first = RotValueReply(rot_id=send.message.rot_id,
+                              results=(ReadResult(key_on(0), 4, 0, 8),),
+                              snapshot=snapshot, gss=(2, 2))
+        assert kernel.on_message(first, now=0.1) == []  # still one outstanding
+        second = RotValueReply(rot_id=send.message.rot_id,
+                               results=(ReadResult(key_on(1), 3, 1, 8),),
+                               snapshot=snapshot, gss=(2, 2))
+        (done,) = kernel.on_message(second, now=0.2)
+        assert isinstance(done, Complete) and done.op == "rot"
+        assert set(done.result.results) == {key_on(0), key_on(1)}
+        assert kernel.local_ts_seen == 5  # snapshot folded into the context
+
+    def test_reply_for_unknown_rot_rejected(self):
+        kernel = self._vector_client()
+        with pytest.raises(ProtocolError):
+            kernel.on_message(RotValueReply(rot_id="ghost", results=(),
+                                            snapshot=(0, 0), gss=(0, 0)),
+                              now=0.0)
+
+    def test_cclo_put_carries_accumulated_dependencies(self):
+        kernel = CcloClientKernel(client_id="client-dc0-0", dc_id=0,
+                                  partitioner=HashPartitioner(4))
+        from repro.core.common.messages import OneRoundReadReply, ReadResult
+        (send,) = kernel.start_operation(_Op("rot", (key_on(1),)),
+                                         sequence=1, now=0.0)
+        (done,) = kernel.on_message(
+            OneRoundReadReply(rot_id=send.message.rot_id,
+                              results=(ReadResult(key_on(1), 7, 0, 8),)),
+            now=0.1)
+        assert done.op == "rot"
+        (put,) = kernel.start_operation(_Op("put", (key_on(0),)),
+                                        sequence=2, now=0.2)
+        assert put.message.dependencies == ((key_on(1), 7, 0),)
+        (ack,) = kernel.on_message(CcloPutReply(key=key_on(0), timestamp=11),
+                                   now=0.3)
+        # The Complete effect snapshots the context from *before* the PUT
+        # subsumed it; afterwards the PUT is the only nearest dependency.
+        assert ack.result.dependencies == ((key_on(1), 7, 0),)
+        assert kernel.checker_dependencies() == ((key_on(0), 11, 0),)
+
+
+class _Op:
+    """Minimal operation stand-in (duck-typed like workload operations)."""
+
+    def __init__(self, kind, keys, value_size=8):
+        self.kind = kind
+        self.keys = keys
+        self.value_size = value_size
+
+    @property
+    def is_put(self):
+        return self.kind == "put"
+
+    @property
+    def is_rot(self):
+        return self.kind == "rot"
