@@ -11,6 +11,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
         [--output BENCH_smoke.json] [--workers N] [--backend sim|realtime] \
+        [--transport inproc|tcp] \
         [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
 
 ``--protocols`` / ``--clients`` point the run at any grid cell instead of the
@@ -19,7 +20,10 @@ scenario (see ``repro.faults.library``) inside every run, in which case the
 JSON rows carry per-phase slices.  ``--backend realtime`` serves the same
 sweep from the asyncio backend (real wall-clock runs with the causal checker
 attached — the run *fails* on any consistency violation), so ``BENCH``
-artifacts can compare the two backends point by point.
+artifacts can compare the two backends point by point.  ``--transport tcp``
+(realtime only) additionally spawns every partition server in its own OS
+process and serves the sweep over wire-encoded TCP frames — the CI
+``tcp-smoke`` job records that as ``BENCH_tcp.json``.
 
 The default configuration is deliberately small (test-scale cluster, short
 runs): the goal is a stable, minutes-not-hours signal, not a full
@@ -67,7 +71,8 @@ def run_smoke(workers: int | None = None,
               protocols: list[str] | None = None,
               clients: list[int] | None = None,
               scenario_name: str = "none",
-              backend: str = "sim") -> dict[str, object]:
+              backend: str = "sim",
+              transport: str = "inproc") -> dict[str, object]:
     """Run the smoke grid and return the JSON-ready report."""
     protocols = list(protocols or implemented_protocols())
     clients = list(clients or SMOKE_SWEEP)
@@ -75,6 +80,9 @@ def run_smoke(workers: int | None = None,
     if backend == "realtime" and not scenario.is_empty:
         raise ConfigurationError(
             "fault scenarios require the sim backend")
+    if transport != "inproc" and backend != "realtime":
+        raise ConfigurationError(
+            f"transport {transport!r} requires the realtime backend")
     config = smoke_config(scenario_name)
     started = time.perf_counter()
     if backend == "realtime":
@@ -82,7 +90,9 @@ def run_smoke(workers: int | None = None,
                       protocol,
                       config.with_changes(clients_per_dc=count),
                       duration_seconds=REALTIME_POINT_SECONDS,
-                      check_consistency=True, label="smoke-realtime").result
+                      transport=transport,
+                      check_consistency=True,
+                      label=f"smoke-realtime[{transport}]").result
                   for count in clients]
                   for protocol in protocols}
     else:
@@ -93,6 +103,7 @@ def run_smoke(workers: int | None = None,
     return {
         "benchmark": "smoke",
         "backend": backend,
+        "transport": transport if backend == "realtime" else "n/a",
         "client_counts": clients,
         "scenario": scenario_name if not scenario.is_empty else "none",
         "workers": 1 if backend == "realtime" else resolve_worker_count(workers),
@@ -127,24 +138,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the sweep on the discrete-event simulator "
                              "or the asyncio realtime backend "
                              "(default: %(default)s)")
+    parser.add_argument("--transport", default="inproc",
+                        choices=["inproc", "tcp"],
+                        help="realtime backend only: serve each point "
+                             "in-process or from one OS process per "
+                             "partition server over TCP "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
     if args.backend == "realtime" and args.scenario not in ("", "none"):
         parser.error("fault scenarios require the sim backend")
     if args.backend == "realtime" and args.workers is not None:
         parser.error("--workers only applies to the sim backend "
                      "(the realtime sweep runs points sequentially)")
+    if args.transport != "inproc" and args.backend != "realtime":
+        parser.error("--transport tcp requires --backend realtime")
 
     # Fail on an unwritable destination *before* spending minutes simulating.
     output_dir = os.path.dirname(os.path.abspath(args.output))
     os.makedirs(output_dir, exist_ok=True)
 
     report = run_smoke(args.workers, args.protocols, args.clients,
-                       args.scenario, args.backend)
+                       args.scenario, args.backend, args.transport)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    print(f"smoke benchmark[{report['backend']}]: "
+    print(f"smoke benchmark[{report['backend']}"
+          f"{'/' + args.transport if report['backend'] == 'realtime' else ''}]: "
           f"{len(report['series'])} protocols x "
           f"{len(report['client_counts'])} points "
           f"(scenario: {report['scenario']}) in "

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A 2-DC multi-process TCP cluster serving concurrent PUT/ROT traffic.
+
+The realtime backend can run a cluster the way the paper's testbed did:
+every partition server in its own OS process (true multi-core execution, no
+shared GIL), messages as wire-codec frames over real TCP sockets, clients
+hammering the cluster concurrently.  This example does it twice per
+protocol's worth of traffic:
+
+1. **Workload mode** — :func:`repro.runtime.run_realtime_experiment` with
+   ``transport="tcp"`` spawns one worker process per (DC, partition) server
+   plus one client worker per DC, drives closed-loop PUT/ROT traffic from
+   concurrent clients, ships every worker's latency samples and
+   causal-consistency observation log back to the parent over the wire, and
+   validates the merged cross-process history (the run *raises* on any
+   violation).
+2. **Interactive mode** — ``CausalStore(backend="realtime",
+   transport="tcp")`` runs the same server processes but drives them
+   step-by-step from the parent: a PUT in DC 0 becomes visible in DC 1 via
+   real cross-process replication.
+
+What to look for in the output:
+
+* **worker process counts** — a 2-DC, 2-partition cluster runs 4 server
+  processes + 2 client workers = 6 OS processes, all meshed over TCP.
+* **Zero consistency violations** for every protocol, despite real sockets,
+  real serialisation and real process scheduling between every pair of
+  nodes.
+* **Latency over TCP** is higher than in-process (each hop now pays codec +
+  loopback), which is exactly the regime the paper's protocols were built
+  for.
+
+Run with::
+
+    python examples/tcp_cluster.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.api import CausalStore
+from repro.cluster.config import ClusterConfig
+from repro.runtime import run_realtime_experiment
+from repro.workload.parameters import WorkloadParameters
+
+#: Two DCs x two partitions; three concurrent clients per DC.
+CONFIG = ClusterConfig.test_scale(num_partitions=2, num_dcs=2,
+                                  clients_per_dc=3, warmup_seconds=0.1)
+
+#: ROTs span both partitions; moderate write share.
+WORKLOAD = WorkloadParameters(rot_size=2)
+
+
+def workload_mode() -> None:
+    print("== workload mode: closed-loop traffic over TCP ==")
+    for protocol in ("contrarian", "cure", "cc-lo"):
+        outcome = run_realtime_experiment(
+            protocol, CONFIG, WORKLOAD, duration_seconds=1.0,
+            transport="tcp", check_consistency=True)
+        result = outcome.result
+        report = outcome.checker_report
+        print(f"  {protocol:<12} {outcome.cluster.worker_count} worker "
+              f"processes | {result.rots_completed} ROTs + "
+              f"{result.puts_completed} PUTs | "
+              f"{result.throughput_kops * 1000:.0f} ops/s | "
+              f"ROT avg {result.rot_latency.mean_ms:.2f} ms "
+              f"p99 {result.rot_latency.p99_ms:.2f} ms | "
+              f"violations: "
+              f"{len(report.snapshot_violations) + len(report.session_violations)}")
+
+
+def interactive_mode() -> None:
+    print("== interactive mode: cross-DC replication over TCP ==")
+    with CausalStore(protocol="contrarian", backend="realtime",
+                     transport="tcp", num_partitions=2, num_dcs=2) as store:
+        written = store.put("album:acl", dc=0).values["album:acl"]
+        print(f"  DC 0 wrote album:acl @ {written}")
+        seen = None
+        for _ in range(40):  # bounded wait for replication + stabilization
+            store.advance(0.05)
+            seen = store.get("album:acl", dc=1)
+            if seen == written:
+                break
+        print(f"  DC 1 read  album:acl @ {seen} "
+              f"({'replicated' if seen == written else 'still propagating'})")
+        print(f"  checker: {'OK' if store.check().ok else 'VIOLATION'}")
+
+
+def main() -> None:
+    workload_mode()
+    interactive_mode()
+
+
+if __name__ == "__main__":
+    main()

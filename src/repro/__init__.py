@@ -66,6 +66,7 @@ _EXPORTS = {
     "OperationResult": "repro.api",
     "ParallelExecutionError": "repro.harness.parallel",
     "ParallelRunner": "repro.harness.parallel",
+    "ProcessCluster": "repro.runtime.process",
     "ProtocolError": "repro.errors",
     "ReproError": "repro.errors",
     "RunResult": "repro.metrics.collectors",
@@ -74,6 +75,8 @@ _EXPORTS = {
     "SimulationError": "repro.errors",
     "StorageError": "repro.errors",
     "TheoryError": "repro.errors",
+    "TransportError": "repro.errors",
+    "WireFormatError": "repro.errors",
     "WorkloadError": "repro.errors",
     "WorkloadParameters": "repro.workload.parameters",
     "derive_seed": "repro.harness.parallel",

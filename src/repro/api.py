@@ -43,6 +43,8 @@ from repro.harness.parallel import (
 from repro.harness.runner import load_sweep, run_experiment
 from repro.runtime.cluster import RealtimeCluster
 from repro.runtime.experiment import run_realtime_experiment
+from repro.runtime.process import ProcessCluster
+from repro.runtime.transport import TRANSPORTS
 from repro.workload.parameters import WorkloadParameters
 
 #: Backends :class:`CausalStore` can run on.
@@ -80,25 +82,38 @@ class CausalStore:
         discrete-event simulator; ``"realtime"`` — operations are served by
         asyncio tasks on wall-clock time (the store owns a private event
         loop and steps it while an operation is in flight).
+    transport:
+        Realtime backend only.  ``"inproc"`` (default) keeps every node on
+        the store's private event loop; ``"tcp"`` spawns each partition
+        server in its own OS process and the store's interactive clients
+        talk to them over wire-encoded TCP frames.
     num_partitions / num_dcs:
         Topology of the cluster.
     config:
         Full configuration; overrides the two convenience parameters.
 
     The store is a context manager; :meth:`close` (idempotent) tears down
-    the built cluster — periodic simulator tasks or asyncio tasks and the
-    private event loop.
+    the built cluster — periodic simulator tasks or asyncio tasks, worker
+    processes on the TCP transport, and the private event loop.
     """
 
     def __init__(self, protocol: str = "contrarian", *,
-                 backend: str = "sim",
+                 backend: str = "sim", transport: str = "inproc",
                  num_partitions: int = 4, num_dcs: int = 1,
                  config: Optional[ClusterConfig] = None) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; known: {list(TRANSPORTS)}")
+        if transport != "inproc" and backend != "realtime":
+            raise ConfigurationError(
+                f"transport {transport!r} requires backend='realtime' "
+                f"(the sim backend has no wire)")
         self.protocol = protocol
         self.backend = backend
+        self.transport = transport
         base = config or ClusterConfig.test_scale(num_partitions=num_partitions,
                                                   num_dcs=num_dcs,
                                                   clients_per_dc=1)
@@ -126,15 +141,28 @@ class CausalStore:
     def _init_realtime(self, base: ClusterConfig) -> None:
         # Build (and thereby validate) the cluster before creating the event
         # loop, so a bad protocol name cannot leak an unclosed loop.
-        self._rt_cluster = RealtimeCluster(
-            self.protocol, base, WorkloadParameters(rot_size=1),
-            enable_checker=True, workload_clients=False)
+        if self.transport == "tcp":
+            self._rt_cluster = ProcessCluster(
+                self.protocol, base, WorkloadParameters(rot_size=1),
+                enable_checker=True, workload_clients=False)
+        else:
+            self._rt_cluster = RealtimeCluster(
+                self.protocol, base, WorkloadParameters(rot_size=1),
+                enable_checker=True, workload_clients=False)
+        # Interactive clients must exist before start(): on the TCP
+        # transport the peer table is distributed exactly once.
         self._clients = {dc: self._rt_cluster.add_client(dc, 0)
                          for dc in range(base.num_dcs)}
         self._loop = asyncio.new_event_loop()
         try:
             self._loop.run_until_complete(self._rt_cluster.start())
         except BaseException:
+            # A failed start must not leak worker processes (TCP transport)
+            # or the private loop.
+            try:
+                self._loop.run_until_complete(self._rt_cluster.stop())
+            except Exception:  # noqa: BLE001 - the start failure wins
+                pass
             self._loop.close()
             raise
 
@@ -324,6 +352,7 @@ class _SyntheticOperation:
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "CausalStore",
     "OperationResult",
     "ParallelRunner",

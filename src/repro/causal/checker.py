@@ -125,6 +125,16 @@ class CausalConsistencyChecker:
         for rot in rots:
             self.record_rot(rot)
 
+    def recorded_history(self) -> tuple[tuple[RecordedPut, ...],
+                                        tuple[RecordedRot, ...]]:
+        """Every recorded event, for shipping across process boundaries.
+
+        The inverse of :meth:`record_history`: a worker process records its
+        clients' operations locally, ships the history over the wire, and
+        the parent folds it into the run-wide checker.
+        """
+        return tuple(self._puts.values()), tuple(self._rots)
+
     @property
     def recorded_puts(self) -> int:
         return len(self._puts)

@@ -54,6 +54,19 @@ class WallClock:
         """
         self._origin = time.monotonic()
 
+    def sync_to_wall_epoch(self, epoch: float) -> None:
+        """Align ``now == 0`` with the ``time.time()`` instant ``epoch``.
+
+        Multi-process clusters distribute one epoch so that every worker's
+        wall clock measures from the *same* origin: per-process
+        ``time.monotonic()`` origins are arbitrary, but ``time.time()`` is
+        the shared system clock, so mapping through it bounds cross-process
+        skew to system-clock read jitter (microseconds on one host) instead
+        of process start-up stagger (hundreds of milliseconds).  Same safety
+        caveat as :meth:`reset`.
+        """
+        self._origin = time.monotonic() - (time.time() - epoch)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"WallClock(now={self.now:.6f})"
 

@@ -13,12 +13,30 @@ This module must stay importable without ``repro.sim``.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Tuple
 
 from repro.causal.vectors import zero_vector
 from repro.cluster.partitioning import HashPartitioner
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.version import Version
+
+
+def derive_node_seed(master_seed: object, *scope: object) -> str:
+    """The deterministic per-node seed string ``"<master>:<scope...>"``.
+
+    Every source of randomness in a cluster (clock skew draws, client
+    kernels, workload generators) is seeded from the master seed plus a
+    structural scope such as ``("client", dc, index)``.  Centralising the
+    derivation means a node constructed in a worker process draws *exactly*
+    the same stream as the same node constructed in-process.
+    """
+    return ":".join(str(part) for part in (master_seed, *scope))
+
+
+def node_rng(master_seed: object, *scope: object) -> random.Random:
+    """A :class:`random.Random` seeded with :func:`derive_node_seed`."""
+    return random.Random(derive_node_seed(master_seed, *scope))
 
 
 def preload_initial_keyspace(stores: Iterable[Tuple[int, MultiVersionStore]],
@@ -41,4 +59,4 @@ def preload_initial_keyspace(stores: Iterable[Tuple[int, MultiVersionStore]],
         store.preload(versions)
 
 
-__all__ = ["preload_initial_keyspace"]
+__all__ = ["derive_node_seed", "node_rng", "preload_initial_keyspace"]

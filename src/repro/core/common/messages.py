@@ -322,6 +322,56 @@ class PendingRot:
         return self.expected_replies <= 0
 
 
+# --------------------------------------------------------------------------
+# Wire-codec enumeration
+# --------------------------------------------------------------------------
+#: Every message type that can cross a process boundary, in a *stable* order:
+#: the wire codec (:mod:`repro.wire`) derives each type's numeric tag from its
+#: position in this tuple, so entries must only ever be appended, never
+#: reordered or removed (that would change tags and break cross-version
+#: decoding).  :class:`ReadResult` is listed because replies embed it.
+WIRE_MESSAGES: tuple[type, ...] = (
+    ReadResult,
+    VectorPutRequest,
+    VectorPutReply,
+    RotCoordinatorRequest,
+    RotSnapshotReply,
+    RotProxyRead,
+    RotReadRequest,
+    RotValueReply,
+    RemoteHeartbeat,
+    StabilizationMessage,
+    ReplicateUpdate,
+    OneRoundReadRequest,
+    OneRoundReadReply,
+    CcloPutRequest,
+    CcloPutReply,
+    ReadersCheckRequest,
+    ReadersCheckReply,
+    CcloReplicateUpdate,
+)
+
+#: The wire-message set of each protocol (used by the codec round-trip tests
+#: to assert per-protocol coverage).  The vector protocols share one set.
+PROTOCOL_MESSAGES: dict[str, tuple[type, ...]] = {
+    "contrarian": (
+        VectorPutRequest, VectorPutReply, RotCoordinatorRequest,
+        RotSnapshotReply, RotProxyRead, RotReadRequest, RotValueReply,
+        RemoteHeartbeat, StabilizationMessage, ReplicateUpdate, ReadResult,
+    ),
+    "cure": (
+        VectorPutRequest, VectorPutReply, RotCoordinatorRequest,
+        RotSnapshotReply, RotReadRequest, RotValueReply, RemoteHeartbeat,
+        StabilizationMessage, ReplicateUpdate, ReadResult,
+    ),
+    "cc-lo": (
+        OneRoundReadRequest, OneRoundReadReply, CcloPutRequest, CcloPutReply,
+        ReadersCheckRequest, ReadersCheckReply, CcloReplicateUpdate,
+        ReadResult,
+    ),
+}
+
+
 __all__ = [
     "CcloPutReply",
     "CcloPutRequest",
@@ -348,4 +398,6 @@ __all__ = [
     "TIMESTAMP_BYTES",
     "VectorPutReply",
     "VectorPutRequest",
+    "PROTOCOL_MESSAGES",
+    "WIRE_MESSAGES",
 ]

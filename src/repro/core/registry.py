@@ -52,6 +52,12 @@ class ProtocolSpec:
     real-time backend and by kernel-level tests).  Kernel classes expose a
     ``from_config(config, ...)`` factory; see
     :class:`repro.core.common.kernel.ServerKernel`.
+
+    ``transports`` lists the real-time transports the protocol supports
+    (subset of :data:`repro.runtime.transport.TRANSPORTS`).  The built-ins
+    support both; an external design whose messages are not wire-registered
+    can declare ``("inproc",)`` and the TCP backends refuse it with a typed
+    error instead of failing mid-run.
     """
 
     name: str
@@ -60,6 +66,7 @@ class ProtocolSpec:
     kernel: Optional[type] = None
     client_kernel: Optional[type] = None
     properties: Optional[ProtocolProperties] = None
+    transports: tuple[str, ...] = ("inproc", "tcp")
 
 
 #: Live registry; mutated only through :func:`register_protocol`.
@@ -74,6 +81,7 @@ def register_protocol(name: str, server: type, client: type, *,
                       kernel: Optional[type] = None,
                       client_kernel: Optional[type] = None,
                       properties: Optional[ProtocolProperties] = None,
+                      transports: tuple[str, ...] = ("inproc", "tcp"),
                       replace: bool = False) -> ProtocolSpec:
     """Register a runnable protocol under ``name``.
 
@@ -87,6 +95,9 @@ def register_protocol(name: str, server: type, client: type, *,
         the real-time backend, optional for simulation-only designs.
     properties:
         Table-2 row for the design (optional).
+    transports:
+        Real-time transports the design supports; pass ``("inproc",)`` for
+        a design whose message types are not wire-registered.
     replace:
         Allow overwriting an existing registration (default: refuse, so two
         plugins cannot silently shadow each other).
@@ -97,7 +108,7 @@ def register_protocol(name: str, server: type, client: type, *,
             f"pass replace=True to override")
     spec = ProtocolSpec(name=name, server=server, client=client,
                         kernel=kernel, client_kernel=client_kernel,
-                        properties=properties)
+                        properties=properties, transports=tuple(transports))
     _SPECS[name] = spec
     PROTOCOLS[name] = (server, client)
     return spec
@@ -142,6 +153,12 @@ def realtime_protocols() -> tuple[str, ...]:
     """Names of protocols with kernels, i.e. runnable on the asyncio backend."""
     return tuple(name for name, spec in _SPECS.items()
                  if spec.kernel is not None and spec.client_kernel is not None)
+
+
+def transport_protocols(transport: str) -> tuple[str, ...]:
+    """Names of realtime protocols that support the given transport."""
+    return tuple(name for name in realtime_protocols()
+                 if transport in _SPECS[name].transports)
 
 
 # --------------------------------------------------------------------------
@@ -212,5 +229,6 @@ __all__ = [
     "resolve",
     "resolve_spec",
     "surveyed_properties",
+    "transport_protocols",
     "unregister_protocol",
 ]

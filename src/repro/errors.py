@@ -52,3 +52,13 @@ class TheoryError(ReproError):
 class RuntimeBackendError(ReproError):
     """A failure of the real-time (asyncio) backend: an operation timed out,
     a task died, or the runtime was used after :meth:`close`."""
+
+
+class WireFormatError(ReproError):
+    """Raised by the wire codec on malformed, truncated or unknown-version
+    frames, and on attempts to encode unregistered or unencodable values."""
+
+
+class TransportError(ReproError):
+    """Raised by a message transport: an unroutable destination, a peer that
+    cannot be reached, or a connection that failed mid-run."""

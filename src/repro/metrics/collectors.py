@@ -301,6 +301,20 @@ class MetricsRegistry:
         else:
             self.rots_issued += 1
 
+    def absorb(self, *, rot_samples, put_samples,
+               rots_issued: int = 0, puts_issued: int = 0) -> None:
+        """Fold a worker process's shipped measurements into this registry.
+
+        The worker already applied its warmup filter, so samples are folded
+        in verbatim (completed counts equal sample counts by construction).
+        """
+        self.rots_completed += len(rot_samples)
+        self.puts_completed += len(put_samples)
+        self.rot_latencies.extend(rot_samples)
+        self.put_latencies.extend(put_samples)
+        self.rots_issued += rots_issued
+        self.puts_issued += puts_issued
+
     # ----------------------------------------------------------------- phases
     def begin_phase(self, name: str, now: float) -> None:
         """Open a new metric phase at simulated time ``now``.

@@ -61,6 +61,15 @@ class LatencyRecorder:
         """Fold another recorder's samples into this one."""
         self._samples.extend(other._samples)
 
+    def extend(self, samples_seconds) -> None:
+        """Fold raw samples (seconds) into this recorder (cross-process
+        result shipping)."""
+        self._samples.extend(samples_seconds)
+
+    def samples(self) -> tuple[float, ...]:
+        """All recorded samples in seconds (copy, insertion order)."""
+        return tuple(self._samples)
+
     def samples_ms(self) -> list[float]:
         """All samples converted to milliseconds (copy)."""
         return [as_milliseconds(sample) for sample in self._samples]

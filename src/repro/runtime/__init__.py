@@ -2,35 +2,47 @@
 
 This package is the second driver of the protocol kernels in
 :mod:`repro.core` (the first is the discrete-event simulator in
-:mod:`repro.sim`).  Servers and clients become asyncio tasks exchanging
-messages through in-process mailboxes on wall-clock time — real concurrency,
-real HLC/physical clocks, the same protocol logic, the same metrics and the
-same causal-consistency checker.
+:mod:`repro.sim`), layered as wire -> transport -> runtime:
+
+* :mod:`repro.wire` encodes messages into self-describing frames;
+* :mod:`repro.runtime.transport` delivers them — in-process mailboxes
+  (:class:`InprocTransport`) or length-prefixed frames over asyncio TCP
+  streams (:class:`TcpTransport`);
+* the runtime drives the kernels: servers and clients are asyncio tasks on
+  wall-clock time — real concurrency, real HLC/physical clocks, the same
+  protocol logic, the same metrics and the same causal-consistency checker.
+  With :class:`ProcessCluster`, every partition server runs in its own OS
+  process (true multi-core execution) and the parent checks the merged
+  cross-process history.
 
 Entry points:
 
 * :func:`~repro.runtime.experiment.run_realtime_experiment` — a
-  workload-driven wall-clock run returning a
-  :class:`~repro.metrics.collectors.RunResult`;
-* ``CausalStore(backend="realtime")`` (:mod:`repro.api`) — the interactive
-  facade served by this backend;
-* :class:`~repro.runtime.cluster.RealtimeCluster` — the building block both
-  use.
+  workload-driven wall-clock run (``transport="inproc"`` or ``"tcp"``)
+  returning a :class:`~repro.metrics.collectors.RunResult`;
+* ``CausalStore(backend="realtime", transport=...)`` (:mod:`repro.api`) —
+  the interactive facade served by this backend;
+* :class:`~repro.runtime.cluster.RealtimeCluster` /
+  :class:`~repro.runtime.process.ProcessCluster` — the building blocks.
 """
 
-from repro.runtime.cluster import RealtimeCluster
-from repro.runtime.experiment import (
-    DEFAULT_REALTIME_DURATION,
-    RealtimeOutcome,
-    run_realtime_experiment,
-)
-from repro.runtime.nodes import RealtimeClient, RealtimeServer
+from repro._lazy import make_lazy
 
-__all__ = [
-    "DEFAULT_REALTIME_DURATION",
-    "RealtimeClient",
-    "RealtimeCluster",
-    "RealtimeOutcome",
-    "RealtimeServer",
-    "run_realtime_experiment",
-]
+_EXPORTS = {
+    "DEFAULT_REALTIME_DURATION": "repro.runtime.experiment",
+    "Envelope": "repro.runtime.transport",
+    "InprocTransport": "repro.runtime.transport",
+    "ProcessCluster": "repro.runtime.process",
+    "RealtimeClient": "repro.runtime.nodes",
+    "RealtimeCluster": "repro.runtime.cluster",
+    "RealtimeOutcome": "repro.runtime.experiment",
+    "RealtimeServer": "repro.runtime.nodes",
+    "TRANSPORTS": "repro.runtime.transport",
+    "TcpTransport": "repro.runtime.transport",
+    "Transport": "repro.runtime.transport",
+    "run_realtime_experiment": "repro.runtime.experiment",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

@@ -1,43 +1,56 @@
-"""In-process real-time cluster: kernels wired over asyncio mailboxes.
+"""Real-time cluster: kernels wired over a pluggable transport.
 
 A :class:`RealtimeCluster` is the real-time analogue of the harness builder
-plus :class:`~repro.cluster.topology.ClusterTopology`: it instantiates one
-sans-I/O server kernel per (DC, partition) pair, preloads the keyspace
+plus :class:`~repro.cluster.topology.ClusterTopology`: it instantiates sans-I/O
+server kernels (one per local (DC, partition) pair), preloads the keyspace
 exactly like the simulated builder, creates clients, and routes kernel
-:class:`~repro.core.common.kernel.Send` effects between the nodes'
-:class:`asyncio.Queue` mailboxes.  Time is wall-clock
+:class:`~repro.core.common.kernel.Send` effects through a
+:class:`~repro.runtime.transport.Transport`.  Time is wall-clock
 (:class:`~repro.clocks.timesource.WallClock`), so HLC physical components
 and Cure's skew-induced blocking are driven by the actual clock.
 
-Message channels are in-process queues: delivery is FIFO per receiver and
-effectively instantaneous — the real-time backend measures protocol and
-scheduling behaviour under genuine concurrency, not WAN latency (the
-simulator models that).
+With the default :class:`~repro.runtime.transport.InprocTransport` every node
+lives on one event loop and delivery is a queue enqueue — genuine concurrency
+without serialisation cost.  With a
+:class:`~repro.runtime.transport.TcpTransport` the cluster holds only the
+*local* subset of nodes (``server_ids``) and remote sends become wire-encoded
+frames — the building block :class:`~repro.runtime.process.ProcessCluster`
+spawns one of per worker process.
 """
 
 from __future__ import annotations
 
 import asyncio
-import random
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.causal.checker import CausalConsistencyChecker
 from repro.clocks.timesource import WallClock
 from repro.cluster.config import ClusterConfig
 from repro.cluster.partitioning import HashPartitioner
-from repro.cluster.seeding import preload_initial_keyspace
+from repro.cluster.seeding import node_rng, preload_initial_keyspace
 from repro.core.common.kernel import Addr, ClientAddr, ServerAddr
 from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError, RuntimeBackendError
 from repro.metrics.collectors import MetricsRegistry
 from repro.metrics.overheads import OverheadCounters
 from repro.runtime.nodes import RealtimeClient, RealtimeServer
+from repro.runtime.transport import InprocTransport, Transport
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
 
+def client_node_id(dc: int, index: int) -> str:
+    """The globally unique id of client ``index`` in data center ``dc``.
+
+    One naming scheme shared by in-process clusters, worker processes and
+    the process-cluster peer table, so a client's address is derivable from
+    its (DC, index) placement alone.
+    """
+    return f"client-dc{dc}-{index}"
+
+
 class RealtimeCluster:
-    """All real-time nodes of one run, indexed by DC and partition.
+    """The real-time nodes of one run (or of one worker's local slice).
 
     Parameters
     ----------
@@ -52,12 +65,21 @@ class RealtimeCluster:
         Create the ``config.clients_per_dc`` closed-loop clients.  The
         :class:`~repro.api.CausalStore` facade passes ``False`` and attaches
         interactive clients instead.
+    transport:
+        Message delivery between nodes; defaults to a fresh
+        :class:`~repro.runtime.transport.InprocTransport`.
+    server_ids:
+        The (DC, partition) pairs instantiated *locally*; ``None`` (default)
+        means the full topology.  Worker processes pass their slice and rely
+        on the transport's peer table for everything else.
     """
 
     def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadParameters] = None, *,
                  enable_checker: bool = False,
-                 workload_clients: bool = True) -> None:
+                 workload_clients: bool = True,
+                 transport: Optional[Transport] = None,
+                 server_ids: Optional[Iterable[tuple[int, int]]] = None) -> None:
         self.protocol = protocol
         self.config = config = config or ClusterConfig()
         self.workload = workload = workload or DEFAULT_WORKLOAD
@@ -68,22 +90,27 @@ class RealtimeCluster:
                 f"kernels; the realtime backend needs them")
         self._spec = spec
         self.clock = WallClock()
+        self.transport = transport if transport is not None else InprocTransport()
         self.partitioner = HashPartitioner(config.num_partitions)
         self.metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
         self.checker = CausalConsistencyChecker() if enable_checker else None
         self._closed = False
         self._started = False
 
+        if server_ids is None:
+            server_ids = [(dc, partition)
+                          for dc in range(config.num_dcs)
+                          for partition in range(config.num_partitions)]
         self.servers: dict[tuple[int, int], RealtimeServer] = {}
-        for dc in range(config.num_dcs):
-            for partition in range(config.num_partitions):
-                skew_rng = random.Random(
-                    f"{config.seed}:clock-skew:{dc}:{partition}")
-                offset = config.skew_model.draw_offset(skew_rng)
-                kernel = spec.kernel.from_config(
-                    config, dc, partition, partitioner=self.partitioner,
-                    time_source=self.clock, skew_offset_us=offset)
-                self.servers[(dc, partition)] = RealtimeServer(self, kernel)
+        for dc, partition in server_ids:
+            skew_rng = node_rng(config.seed, "clock-skew", dc, partition)
+            offset = config.skew_model.draw_offset(skew_rng)
+            kernel = spec.kernel.from_config(
+                config, dc, partition, partitioner=self.partitioner,
+                time_source=self.clock, skew_offset_us=offset)
+            server = RealtimeServer(self, kernel)
+            self.servers[(dc, partition)] = server
+            self.transport.register_local(server.addr, server)
         self._preload_keyspace()
 
         self.clients: list[RealtimeClient] = []
@@ -91,13 +118,10 @@ class RealtimeCluster:
         if workload_clients:
             for dc in range(config.num_dcs):
                 for index in range(config.clients_per_dc):
-                    generator = WorkloadGenerator(
-                        workload, self.partitioner, config.keys_per_partition,
-                        rng=random.Random(f"{config.seed}:workload:{dc}:{index}"))
-                    self.add_client(dc, index, generator=generator)
+                    self.add_workload_client(dc, index)
 
     def _preload_keyspace(self) -> None:
-        """Seed every store with the shared initial-keyspace invariant."""
+        """Seed every local store with the shared initial-keyspace invariant."""
         preload_initial_keyspace(
             ((partition, server.store)
              for (_dc, partition), server in self.servers.items()),
@@ -109,16 +133,29 @@ class RealtimeCluster:
     def add_client(self, dc: int, index: int, *,
                    generator=None) -> RealtimeClient:
         """Create (and register) a client bound to data center ``dc``."""
-        client_id = f"client-dc{dc}-{index}"
+        client_id = client_node_id(dc, index)
         kernel = self._spec.client_kernel.from_config(
             self.config, client_id, dc, partitioner=self.partitioner,
-            rng=random.Random(f"{self.config.seed}:client:{dc}:{index}"))
+            rng=node_rng(self.config.seed, "client", dc, index))
         client = RealtimeClient(self, kernel, generator=generator)
         self.clients.append(client)
         self._clients_by_id[client_id] = client
+        self.transport.register_local(client.addr, client)
         if self._started:
             client.start()
         return client
+
+    def add_workload_client(self, dc: int, index: int) -> RealtimeClient:
+        """Create a closed-loop client with its deterministic generator.
+
+        Used both by the in-process constructor and by worker processes, so
+        client ``(dc, index)`` draws the same operation stream wherever it
+        is instantiated.
+        """
+        generator = WorkloadGenerator(
+            self.workload, self.partitioner, self.config.keys_per_partition,
+            rng=node_rng(self.config.seed, "workload", dc, index))
+        return self.add_client(dc, index, generator=generator)
 
     def clients_in_dc(self, dc: int) -> list[RealtimeClient]:
         """Clients attached to data center ``dc``."""
@@ -126,36 +163,30 @@ class RealtimeCluster:
 
     # ---------------------------------------------------------------- routing
     def route(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
-        """Deliver a kernel Send effect to the destination mailbox."""
-        if isinstance(dest, ServerAddr):
-            try:
-                node = self.servers[(dest.dc, dest.partition)]
-            except KeyError as exc:
-                raise ConfigurationError(
-                    f"no server at DC {dest.dc} partition {dest.partition}") \
-                    from exc
-        elif isinstance(dest, ClientAddr):
-            try:
-                node = self._clients_by_id[dest.client_id]
-            except KeyError as exc:
-                raise ConfigurationError(
-                    f"unknown client {dest.client_id!r}") from exc
-        else:
-            raise ConfigurationError(f"cannot route to {dest!r}")
-        node.deliver(sender, message)
+        """Deliver a kernel Send effect through the transport."""
+        self.transport.send(sender, dest, message)
 
     # -------------------------------------------------------------- lifecycle
-    async def start(self) -> None:
-        """Spawn every node's tasks on the running event loop."""
+    async def start(self, *, wall_epoch: Optional[float] = None) -> None:
+        """Spawn every node's tasks on the running event loop.
+
+        ``wall_epoch`` (a ``time.time()`` instant) aligns this cluster's
+        clock with other processes of the same run; without it the clock
+        re-zeros locally (the single-process behaviour).
+        """
         if self._closed:
             raise RuntimeBackendError("cluster is closed")
         if self._started:
             # Idempotent: a second start must not duplicate pump/timer tasks
             # (doubled stabilization and heartbeat traffic otherwise).
             return
+        await self.transport.start()
         # Re-zero the run clock: construction work (keyspace preload) must
         # not eat into the warmup window the metrics discard.
-        self.clock.reset()
+        if wall_epoch is None:
+            self.clock.reset()
+        else:
+            self.clock.sync_to_wall_epoch(wall_epoch)
         self._started = True
         for server in self.servers.values():
             server.start()
@@ -163,7 +194,7 @@ class RealtimeCluster:
             client.start()
 
     async def stop(self) -> None:
-        """Cancel every node task; idempotent."""
+        """Cancel every node task, then close the transport; idempotent."""
         if self._closed:
             return
         self._closed = True
@@ -171,26 +202,75 @@ class RealtimeCluster:
             await client.stop()
         for server in self.servers.values():
             await server.stop()
+        await self.transport.stop()
 
     def first_failure(self) -> Optional[BaseException]:
-        """The first exception that killed any node task, if one did.
+        """The first exception that killed any node task or transport link.
 
-        A dead pump or timer task otherwise only manifests as downstream
-        operation timeouts; the experiment runner raises this root cause
-        instead.
+        A dead pump, timer task or peer connection otherwise only manifests
+        as downstream operation timeouts; the experiment runner raises this
+        root cause instead.
         """
         for node in [*self.servers.values(), *self.clients]:
             if node.failure is not None:
                 return node.failure
-        return None
+        return self.transport.failure
 
     # ------------------------------------------------------------------ stats
     def overhead(self) -> OverheadCounters:
-        """Merged overhead counters across all partition servers."""
+        """Merged overhead counters across all local partition servers."""
         overhead = OverheadCounters()
         for server in self.servers.values():
             overhead.merge(server.counters)
         return overhead
 
 
-__all__ = ["RealtimeCluster"]
+#: Grace period for closed loops to finish their in-flight operation after
+#: the stop event is set.
+CLOSED_LOOP_GRACE_SECONDS = 10.0
+
+
+async def drive_closed_loops(cluster: RealtimeCluster,
+                             duration_seconds: float) -> None:
+    """Serve ``cluster``'s closed-loop clients for a wall-clock duration.
+
+    Starts one loop per client, lets them run for ``duration_seconds``, then
+    stops them with a bounded grace period.  A client loop that died
+    (protocol bug, operation timeout) FAILS the call — degraded numbers with
+    exit 0 would defeat the CI smoke jobs.  Used by the in-process
+    experiment runner and, per worker process, by the TCP process cluster.
+    The caller owns cluster start/stop.
+    """
+    stop = asyncio.Event()
+    loops = [asyncio.ensure_future(client.run_closed_loop(stop))
+             for client in cluster.clients]
+    await asyncio.sleep(duration_seconds)
+    stop.set()
+    stuck: list[asyncio.Task] = []
+    errors: list[BaseException] = []
+    if loops:
+        done, pending = await asyncio.wait(
+            loops, timeout=CLOSED_LOOP_GRACE_SECONDS)
+        stuck = list(pending)
+        for task in stuck:
+            task.cancel()
+        if stuck:
+            await asyncio.gather(*stuck, return_exceptions=True)
+        errors = [error for task in done
+                  if not task.cancelled()
+                  and (error := task.exception()) is not None]
+    # Root cause first: a dead server pump explains both the client-side
+    # timeout errors and any stuck loops.
+    failure = cluster.first_failure()
+    if failure is not None:
+        raise failure
+    if errors:
+        raise errors[0]
+    if stuck:
+        raise RuntimeBackendError(
+            f"{len(stuck)} closed-loop client(s) failed to stop within "
+            f"the grace period (an operation is stuck)")
+
+
+__all__ = ["CLOSED_LOOP_GRACE_SECONDS", "RealtimeCluster", "client_node_id",
+           "drive_closed_loops"]

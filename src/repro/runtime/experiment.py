@@ -1,12 +1,22 @@
-"""Workload-driven runs on the real-time (asyncio) backend.
+"""Workload-driven runs on the real-time backend (any transport).
 
 :func:`run_realtime_experiment` is the wall-clock sibling of
-:func:`repro.harness.runner.run_experiment`: it builds a
-:class:`~repro.runtime.cluster.RealtimeCluster`, serves genuinely concurrent
-closed-loop clients for a wall-clock duration, and condenses the measured
-latencies/overheads into the same :class:`~repro.metrics.collectors.RunResult`
-row format the figures use — so simulated and real-time numbers can sit in
-the same table (``benchmarks/run_smoke_benchmark.py --backend realtime``).
+:func:`repro.harness.runner.run_experiment`: it builds a real-time cluster,
+serves genuinely concurrent closed-loop clients for a wall-clock duration,
+and condenses the measured latencies/overheads into the same
+:class:`~repro.metrics.collectors.RunResult` row format the figures use — so
+simulated and real-time numbers can sit in the same table
+(``benchmarks/run_smoke_benchmark.py --backend realtime``).
+
+``transport`` selects the message path:
+
+* ``"inproc"`` (default) — one process, one event loop, queue delivery
+  (:class:`~repro.runtime.cluster.RealtimeCluster` over
+  :class:`~repro.runtime.transport.InprocTransport`);
+* ``"tcp"`` — a :class:`~repro.runtime.process.ProcessCluster`: every
+  partition server in its own OS process, per-DC client worker processes,
+  wire-codec frames over TCP, observation logs shipped back to the parent
+  for run-wide consistency checking.
 
 Real seconds are expensive compared to simulated ones, so the default
 duration is deliberately short; pass ``duration_seconds`` explicitly for
@@ -17,13 +27,16 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.causal.checker import CheckerReport
 from repro.cluster.config import ClusterConfig
-from repro.errors import ConfigurationError, RuntimeBackendError
+from repro.core.registry import resolve_spec
+from repro.errors import ConfigurationError
 from repro.metrics.collectors import RunResult
-from repro.runtime.cluster import RealtimeCluster
+from repro.runtime.cluster import RealtimeCluster, drive_closed_loops
+from repro.runtime.process import ProcessCluster
+from repro.runtime.transport import TRANSPORTS
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
 #: Default wall-clock run length (seconds) including warmup.
@@ -35,14 +48,26 @@ class RealtimeOutcome:
     """The full outcome of one real-time run (result row plus state)."""
 
     result: RunResult
-    cluster: RealtimeCluster
+    cluster: Union[RealtimeCluster, ProcessCluster]
     checker_report: Optional[CheckerReport] = None
+
+
+def _validate_transport(protocol: str, transport: str) -> None:
+    if transport not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; known: {list(TRANSPORTS)}")
+    spec = resolve_spec(protocol)
+    if transport not in spec.transports:
+        raise ConfigurationError(
+            f"protocol {protocol!r} does not support the {transport!r} "
+            f"transport; supported: {list(spec.transports)}")
 
 
 def run_realtime_experiment(protocol: str,
                             config: Optional[ClusterConfig] = None,
                             workload: Optional[WorkloadParameters] = None, *,
                             duration_seconds: Optional[float] = None,
+                            transport: str = "inproc",
                             enable_checker: bool = False,
                             check_consistency: bool = False,
                             label: str = "") -> RealtimeOutcome:
@@ -51,10 +76,14 @@ def run_realtime_experiment(protocol: str,
     Parameters mirror :func:`repro.harness.runner.run_experiment`;
     ``duration_seconds`` (wall-clock, including the config's warmup window)
     defaults to :data:`DEFAULT_REALTIME_DURATION` rather than the config's
-    simulated duration, because real seconds actually elapse.
+    simulated duration, because real seconds actually elapse.  With
+    ``transport="tcp"`` the warmup window is re-anchored at traffic start in
+    every client worker, so the measurement window matches the in-process
+    semantics.
     """
     config = config or ClusterConfig.test_scale()
     workload = workload or DEFAULT_WORKLOAD
+    _validate_transport(protocol, transport)
     duration = (DEFAULT_REALTIME_DURATION if duration_seconds is None
                 else duration_seconds)
     if duration <= config.warmup_seconds:
@@ -64,44 +93,38 @@ def run_realtime_experiment(protocol: str,
             f"duration_seconds ({duration}) must be greater than the "
             f"config's warmup_seconds ({config.warmup_seconds})")
 
-    cluster = RealtimeCluster(protocol, config, workload,
-                              enable_checker=enable_checker or check_consistency)
+    enable_checker = enable_checker or check_consistency
+    if transport == "tcp":
+        cluster: Union[RealtimeCluster, ProcessCluster] = ProcessCluster(
+            protocol, config, workload, enable_checker=enable_checker,
+            workload_clients=True)
 
-    async def _run() -> None:
-        await cluster.start()
-        stop = asyncio.Event()
-        loops = [asyncio.ensure_future(client.run_closed_loop(stop))
-                 for client in cluster.clients]
-        await asyncio.sleep(duration)
-        stop.set()
-        # Closed loops re-check ``stop`` after the in-flight operation; give
-        # them a bounded grace period, then tear everything down.  A client
-        # loop that died (protocol bug, operation timeout) must FAIL the run
-        # — degraded numbers with exit 0 would defeat the CI smoke job.
-        stuck: list[asyncio.Task] = []
-        errors: list[BaseException] = []
-        if loops:
-            done, pending = await asyncio.wait(loops, timeout=10.0)
-            stuck = list(pending)
-            for task in stuck:
-                task.cancel()
-            if stuck:
-                await asyncio.gather(*stuck, return_exceptions=True)
-            errors = [error for task in done
-                      if not task.cancelled()
-                      and (error := task.exception()) is not None]
-        await cluster.stop()
-        # Root cause first: a dead server pump explains both the client-side
-        # timeout errors and any stuck loops.
-        failure = cluster.first_failure()
-        if failure is not None:
-            raise failure
-        if errors:
-            raise errors[0]
-        if stuck:
-            raise RuntimeBackendError(
-                f"{len(stuck)} closed-loop client(s) failed to stop within "
-                f"the grace period (an operation is stuck)")
+        async def _run() -> None:
+            # stop() also covers a start() that failed mid-handshake: the
+            # already-spawned worker processes must not be leaked.
+            try:
+                await cluster.start()
+                await cluster.run_workload(duration)
+            finally:
+                await cluster.stop()
+            failure = cluster.first_failure()
+            if failure is not None:
+                raise failure
+    else:
+        cluster = RealtimeCluster(protocol, config, workload,
+                                  enable_checker=enable_checker)
+
+        async def _run() -> None:
+            try:
+                await cluster.start()
+                await drive_closed_loops(cluster, duration)
+            finally:
+                await cluster.stop()
+            # Failures recorded during teardown (e.g. a task that ignored
+            # cancellation) must fail the run too, not just mid-run ones.
+            failure = cluster.first_failure()
+            if failure is not None:
+                raise failure
 
     asyncio.run(_run())
 
@@ -113,7 +136,7 @@ def run_realtime_experiment(protocol: str,
         measurement_seconds=measurement,
         overhead=cluster.overhead(),
         cpu_utilization=0.0,
-        label=label or f"realtime {workload.describe()}")
+        label=label or f"realtime[{transport}] {workload.describe()}")
 
     report: Optional[CheckerReport] = None
     if cluster.checker is not None:

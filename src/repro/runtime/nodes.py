@@ -50,6 +50,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: protocol bug, and failing beats hanging CI).
 OPERATION_TIMEOUT_SECONDS = 30.0
 
+#: Upper bound on waiting for one node's cancelled tasks to finish during
+#: :meth:`_MailboxNode.stop`.  A task that swallows cancellation must not
+#: hang teardown forever — after this window it is abandoned (and reported),
+#: which still beats leaking it to the garbage collector.
+NODE_STOP_TIMEOUT_SECONDS = 5.0
+
 
 class _MailboxNode:
     """Shared mailbox/task machinery of the real-time nodes."""
@@ -85,15 +91,29 @@ class _MailboxNode:
         self._spawn(self._pump())
 
     async def stop(self) -> None:
-        """Cancel every task this node spawned."""
+        """Cancel and *await* every task this node spawned (bounded).
+
+        Deterministic teardown is part of the close contract: relying on the
+        garbage collector to reap still-pending tasks produces
+        ``Task was destroyed but it is pending!`` warnings and leaves the
+        event loop unclosable.  Cancellation is awaited with a bounded
+        timeout so a task that ignores it cannot hang ``close()``.
+        """
         tasks = list(self._tasks)
         for task in tasks:
             task.cancel()
-        for task in tasks:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                pass
+        if not tasks:
+            return
+        done, pending = await asyncio.wait(
+            tasks, timeout=NODE_STOP_TIMEOUT_SECONDS)
+        for task in done:
+            if not task.cancelled() and task.exception() is not None \
+                    and self.failure is None:
+                self.failure = task.exception()
+        if pending and self.failure is None:
+            self.failure = RuntimeBackendError(
+                f"{len(pending)} task(s) of this node ignored cancellation "
+                f"for {NODE_STOP_TIMEOUT_SECONDS}s during stop()")
 
     async def _pump(self) -> None:
         raise NotImplementedError
@@ -266,4 +286,5 @@ class RealtimeClient(_MailboxNode):
                 message, self.cluster.clock.now))
 
 
-__all__ = ["OPERATION_TIMEOUT_SECONDS", "RealtimeClient", "RealtimeServer"]
+__all__ = ["NODE_STOP_TIMEOUT_SECONDS", "OPERATION_TIMEOUT_SECONDS",
+           "RealtimeClient", "RealtimeServer"]

@@ -1,0 +1,35 @@
+"""Wire layer: a versioned codec plus stream framing.
+
+The wire layer is the bottom of the three-layer message path
+(wire -> transport -> runtime): it turns the protocol message dataclasses of
+:mod:`repro.core.common.messages` — and any dataclass registered through
+:func:`register_wire_type` — into self-describing bytes and back, and splits
+byte streams into length-prefixed frames.  It knows nothing about sockets,
+event loops or protocols; the transports in :mod:`repro.runtime.transport`
+own the I/O.
+
+Exports resolve lazily (PEP 562) to keep this package importable without any
+heavyweight sibling.
+"""
+
+from repro._lazy import make_lazy
+
+_EXPORTS = {
+    "FORMAT_BINARY": "repro.wire.codec",
+    "FORMAT_JSON": "repro.wire.codec",
+    "FrameDecoder": "repro.wire.framing",
+    "LENGTH_BYTES": "repro.wire.framing",
+    "MAX_FRAME_BYTES": "repro.wire.framing",
+    "WIRE_VERSION": "repro.wire.codec",
+    "decode": "repro.wire.codec",
+    "encode": "repro.wire.codec",
+    "frame": "repro.wire.framing",
+    "read_frame": "repro.wire.framing",
+    "register_wire_type": "repro.wire.codec",
+    "registered_wire_types": "repro.wire.codec",
+    "write_frame": "repro.wire.framing",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = make_lazy(__name__, _EXPORTS, globals())

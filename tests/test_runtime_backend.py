@@ -110,6 +110,36 @@ class TestRealtimeWorkloads:
 
 
 class TestRealtimeLifecycle:
+    def test_close_leaves_no_pending_tasks(self, caplog):
+        """Regression: ``close()`` must cancel *and await* every node task.
+
+        Relying on garbage collection to reap still-pending tasks makes
+        asyncio log ``Task was destroyed but it is pending!`` through the
+        ``asyncio`` logger when the task objects are finalised.
+        """
+        import gc
+        import logging
+
+        with caplog.at_level(logging.ERROR, logger="asyncio"):
+            store = CausalStore(protocol="contrarian", backend="realtime",
+                                num_dcs=2)
+            store.put("k")
+            store.rot(["k"])
+            store.close()
+            del store
+            gc.collect()
+        destroyed = [record for record in caplog.records
+                     if "Task was destroyed" in record.getMessage()]
+        assert destroyed == []
+
+    def test_stopped_cluster_reports_no_failure(self):
+        """The bounded-timeout stop path must not invent failures."""
+        store = CausalStore(protocol="cure", backend="realtime")
+        store.put("k")
+        cluster = store.cluster
+        store.close()
+        assert cluster.first_failure() is None
+
     def test_close_is_idempotent_and_blocks_further_use(self):
         store = CausalStore(protocol="contrarian", backend="realtime")
         store.put("k")
