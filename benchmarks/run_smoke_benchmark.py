@@ -11,8 +11,15 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
         [--output BENCH_smoke.json] [--workers N] [--backend sim|realtime] \
-        [--transport inproc|tcp] \
+        [--transport inproc|tcp] [--emit-trace TRACE_smoke.json] \
         [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
+
+``--emit-trace PATH`` additionally runs one 2-DC point per protocol twice —
+tracing off, then tracing on — writes the merged Perfetto/Chrome timeline of
+the traced runs to ``PATH``, and records the measured tracing overhead in the
+JSON report (``trace`` section).  The run **fails** (exit 1) if the trace
+assembler detects dropped events (per-source sequence gaps), so CI catches a
+lossy trace pipeline the same way it catches a failing sweep.
 
 ``--protocols`` / ``--clients`` point the run at any grid cell instead of the
 default full-protocol 3-point sweep; ``--scenario`` executes a canned fault
@@ -46,6 +53,8 @@ from repro.errors import ConfigurationError
 from repro.core.registry import implemented_protocols
 from repro.faults.library import SCENARIOS, get_scenario
 from repro.harness.parallel import resolve_worker_count, run_grid
+from repro.harness.runner import run_experiment
+from repro.obs.export import write_chrome_trace
 from repro.runtime.experiment import run_realtime_experiment
 
 #: Wall-clock duration of one realtime sweep point (seconds, incl. warmup).
@@ -115,6 +124,77 @@ def run_smoke(workers: int | None = None,
     }
 
 
+def run_traced_pass(trace_path: str,
+                    protocols: list[str],
+                    clients: list[int],
+                    backend: str = "sim",
+                    transport: str = "inproc") -> dict[str, object]:
+    """Measure tracing overhead and write the merged timeline artifact.
+
+    One 2-DC point per protocol (at the sweep's lowest client count and a
+    shortened run, so the full event stream fits the bus ring), run twice
+    back to back: tracing off to establish the baseline, then tracing on.
+    The traced runs' event streams become one Chrome-trace file with a
+    Perfetto process row per protocol; the returned ``trace`` report section
+    carries wall-clock/throughput overhead and the sequence-gap verdict.
+    """
+    config = smoke_config().with_changes(num_dcs=2, duration_seconds=0.3)
+    count = min(clients)
+    groups: dict[str, object] = {}
+    per_protocol: dict[str, dict[str, object]] = {}
+    total_gaps = 0
+    for protocol in protocols:
+        point = config.with_changes(clients_per_dc=count)
+
+        def run_point(traced: bool):
+            started = time.perf_counter()
+            if backend == "realtime":
+                outcome = run_realtime_experiment(
+                    protocol, point,
+                    duration_seconds=REALTIME_POINT_SECONDS,
+                    transport=transport, trace=traced,
+                    label=f"smoke-trace-{'on' if traced else 'off'}")
+            else:
+                outcome = run_experiment(
+                    protocol, point, trace=traced,
+                    label=f"smoke-trace-{'on' if traced else 'off'}")
+            return outcome, time.perf_counter() - started
+
+        baseline, baseline_seconds = run_point(traced=False)
+        traced_outcome, traced_seconds = run_point(traced=True)
+        assembler = traced_outcome.trace
+        gaps = sum(assembler.sequence_gaps().values())
+        total_gaps += gaps
+        events = assembler.events()
+        groups[protocol] = events
+        per_protocol[protocol] = {
+            "clients_per_dc": count,
+            "untraced_seconds": round(baseline_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+            "wall_clock_overhead_pct": round(
+                (traced_seconds - baseline_seconds)
+                / baseline_seconds * 100.0, 2),
+            "throughput_untraced_kops": baseline.result.throughput_kops,
+            "throughput_traced_kops": traced_outcome.result.throughput_kops,
+            "events": len(events),
+            "sequence_gaps": gaps,
+            "complete_chains": len(assembler.complete_chains(
+                num_remote_dcs=config.num_dcs - 1)),
+            "visibility_p50_ms":
+                traced_outcome.result.visibility_trace.p50_ms,
+        }
+    info = write_chrome_trace(trace_path, groups,
+                              metadata={"benchmark": "smoke",
+                                        "backend": backend,
+                                        "transport": transport})
+    return {
+        "path": info["path"],
+        "records": info["records"],
+        "per_protocol": per_protocol,
+        "total_sequence_gaps": total_gaps,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_smoke.json",
@@ -144,6 +224,11 @@ def main(argv: list[str] | None = None) -> int:
                              "in-process or from one OS process per "
                              "partition server over TCP "
                              "(default: %(default)s)")
+    parser.add_argument("--emit-trace", default=None, metavar="PATH",
+                        help="also run a traced 2-DC point per protocol, "
+                             "write the merged Perfetto timeline to PATH "
+                             "and record the tracing overhead; fails on "
+                             "dropped trace events")
     args = parser.parse_args(argv)
     if args.backend == "realtime" and args.scenario not in ("", "none"):
         parser.error("fault scenarios require the sim backend")
@@ -159,6 +244,14 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_smoke(args.workers, args.protocols, args.clients,
                        args.scenario, args.backend, args.transport)
+    if args.emit_trace:
+        trace_dir = os.path.dirname(os.path.abspath(args.emit_trace))
+        os.makedirs(trace_dir, exist_ok=True)
+        report["trace"] = run_traced_pass(
+            args.emit_trace,
+            list(args.protocols or implemented_protocols()),
+            list(args.clients or SMOKE_SWEEP),
+            args.backend, args.transport)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -173,6 +266,19 @@ def main(argv: list[str] | None = None) -> int:
     for protocol, rows in sorted(report["series"].items()):
         peak = max(row["throughput_kops"] for row in rows)
         print(f"  {protocol:<12} peak {peak:.1f} Kops/s")
+    if args.emit_trace:
+        trace = report["trace"]
+        for protocol, row in sorted(trace["per_protocol"].items()):
+            print(f"  {protocol:<12} trace: {row['events']} events, "
+                  f"{row['complete_chains']} complete chains, "
+                  f"overhead {row['wall_clock_overhead_pct']:+.1f}%, "
+                  f"gaps {row['sequence_gaps']}")
+        print(f"timeline -> {trace['path']} ({trace['records']} records)")
+        if trace["total_sequence_gaps"]:
+            print(f"ERROR: trace assembler dropped "
+                  f"{trace['total_sequence_gaps']} events (sequence gaps)",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -41,6 +41,8 @@ from repro.harness.parallel import (
     parallel_load_sweep,
 )
 from repro.harness.runner import load_sweep, run_experiment
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import TraceAssembler
 from repro.runtime.cluster import RealtimeCluster
 from repro.runtime.experiment import run_realtime_experiment
 from repro.runtime.process import ProcessCluster
@@ -91,6 +93,10 @@ class CausalStore:
         Topology of the cluster.
     config:
         Full configuration; overrides the two convenience parameters.
+    trace:
+        Record every operation's causal span chain on the repro.obs event
+        bus; inspect via :meth:`trace_timeline` or export a Perfetto/Chrome
+        timeline with :meth:`dump_trace`.
 
     The store is a context manager; :meth:`close` (idempotent) tears down
     the built cluster — periodic simulator tasks or asyncio tasks, worker
@@ -100,7 +106,8 @@ class CausalStore:
     def __init__(self, protocol: str = "contrarian", *,
                  backend: str = "sim", transport: str = "inproc",
                  num_partitions: int = 4, num_dcs: int = 1,
-                 config: Optional[ClusterConfig] = None) -> None:
+                 config: Optional[ClusterConfig] = None,
+                 trace: bool = False) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
@@ -120,6 +127,8 @@ class CausalStore:
         self._results: list[OperationResult] = []
         self._closed = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._trace = trace
+        self._trace_assembler: Optional[TraceAssembler] = None
         if backend == "realtime":
             self._init_realtime(base)
         else:
@@ -132,7 +141,7 @@ class CausalStore:
         # started.
         self._cluster: BuiltCluster = build_cluster(
             self.protocol, base, WorkloadParameters(rot_size=1),
-            enable_checker=True)
+            enable_checker=True, trace=self._trace)
         for server in self._cluster.topology.all_servers():
             server.start()
         self._clients = {dc: self._cluster.topology.clients_in_dc(dc)[0]
@@ -144,11 +153,13 @@ class CausalStore:
         if self.transport == "tcp":
             self._rt_cluster = ProcessCluster(
                 self.protocol, base, WorkloadParameters(rot_size=1),
-                enable_checker=True, workload_clients=False)
+                enable_checker=True, workload_clients=False,
+                trace=self._trace)
         else:
             self._rt_cluster = RealtimeCluster(
                 self.protocol, base, WorkloadParameters(rot_size=1),
-                enable_checker=True, workload_clients=False)
+                enable_checker=True, workload_clients=False,
+                trace=self._trace)
         # Interactive clients must exist before start(): on the TCP
         # transport the peer table is distributed exactly once.
         self._clients = {dc: self._rt_cluster.add_client(dc, 0)
@@ -265,6 +276,9 @@ class CausalStore:
         try:
             client.sequence += 1
             client.metrics.note_issue(operation.kind == "put")
+            tracer = client._tracer
+            if tracer is not None:
+                client._begin_trace(tracer, operation)
             client._op_started_at = sim.now
             if operation.kind == "put":
                 client.issue_put(operation)
@@ -299,6 +313,31 @@ class CausalStore:
             self._loop.run_until_complete(asyncio.sleep(seconds))
         else:
             self._cluster.sim.run(until=self._cluster.sim.now + seconds)
+
+    def trace_timeline(self) -> TraceAssembler:
+        """The assembled repro.obs timeline of everything traced so far.
+
+        Requires ``trace=True``.  On the ``tcp`` transport the worker-side
+        server events only arrive when the store is closed (they ship over
+        the control plane at shutdown), so close first for a complete
+        timeline; ``sim`` and ``inproc`` timelines are complete at any time.
+        """
+        if not self._trace:
+            raise ConfigurationError(
+                "this CausalStore was created without trace=True")
+        if self.backend == "realtime" and self.transport == "tcp":
+            return self._rt_cluster.collect_trace()
+        bus = (self._rt_cluster.trace_bus if self.backend == "realtime"
+               else self._cluster.trace_bus)
+        if self._trace_assembler is None:
+            self._trace_assembler = TraceAssembler()
+        self._trace_assembler.ingest_bus(bus)
+        return self._trace_assembler
+
+    def dump_trace(self, path) -> dict:
+        """Write the timeline as a Chrome-trace JSON (open in Perfetto)."""
+        assembler = self.trace_timeline()
+        return write_chrome_trace(path, {self.protocol: assembler.events()})
 
     def check(self) -> CheckerReport:
         """Validate the recorded history against causal consistency."""

@@ -42,6 +42,7 @@ from repro.core.common.messages import (
     ReadersCheckRequest,
 )
 from repro.errors import ProtocolError
+from repro.obs.events import REPLICATE_APPLY, VISIBLE
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.version import Version
 
@@ -119,6 +120,10 @@ class CcloKernel(ServerKernel):
         self._waiting_local_checks: list[WaitingLocalCheck] = []
         self._ordered_replication = False
         self._parked_finalizes: dict[tuple[str, int], list[str]] = {}
+        # Trace ids of replicated versions whose readers check has not
+        # finalised yet, keyed by (key, origin_dc, timestamp); only populated
+        # while tracing (the finalize runs under a different message's trace).
+        self._trace_by_version: dict[tuple[str, int, int], str] = {}
 
     # ------------------------------------------------------------ factories
     @classmethod
@@ -331,6 +336,14 @@ class CcloKernel(ServerKernel):
         version = pending.version
         version.old_readers.update(pending.collected)
         version.visible = True
+        tracer = self.tracer
+        if tracer is not None and version.origin_dc != self.dc_id:
+            # The readers check completing is the remote-visibility point of
+            # a replicated write (CC-LO has no GSS to wait for).
+            trace = self._trace_by_version.pop(
+                (version.key, version.origin_dc, version.timestamp), None)
+            tracer.emit(self.node_id, VISIBLE, trace=trace, name=version.key,
+                        dc=self.dc_id)
         self.readers.on_version_visible(version.key, self.now)
         # Old-reader inheritance: a ROT barred from this version must also be
         # barred from any future version that causally depends on it, so the
@@ -397,6 +410,16 @@ class CcloKernel(ServerKernel):
                           visible=False, created_at=self.now,
                           writer=message.writer, sequence=message.sequence)
         self.store.install(version)
+        tracer = self.tracer
+        if tracer is not None:
+            trace = self.current_trace
+            tracer.emit(self.node_id, REPLICATE_APPLY, trace=trace,
+                        name=version.key, dc=self.dc_id,
+                        data=(("origin_dc", version.origin_dc),
+                              ("timestamp", version.timestamp)))
+            if trace is not None:
+                self._trace_by_version[(version.key, version.origin_dc,
+                                        version.timestamp)] = trace
         # The readers check is repeated in this DC, combined with the
         # dependency check (require_present=True on the outgoing requests).
         self._start_readers_check(version, message.dependencies, client=None,

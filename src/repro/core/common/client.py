@@ -39,6 +39,7 @@ from repro.core.common.kernel import (
 from repro.core.common.messages import ReadResult
 from repro.errors import ProtocolError
 from repro.metrics.collectors import MetricsRegistry
+from repro.obs.events import MSG_RECV, MSG_SEND, OP_FINISH, OP_START
 from repro.sim.node import Node
 from repro.workload.generator import Operation, WorkloadGenerator
 
@@ -78,6 +79,9 @@ class BaseClient(Node):
         # issuing after its in-flight operation completes; resume restarts it.
         self._suspended = False
         self._idle = False
+        #: Event bus (see :mod:`repro.obs`); None keeps every emit site to a
+        #: single attribute load plus a None check.
+        self._tracer = None
 
     def attach_kernel(self, kernel: ClientKernel) -> None:
         """Bind the protocol kernel this driver executes."""
@@ -130,10 +134,26 @@ class BaseClient(Node):
         self._op_started_at = self.sim.now
         self.sequence += 1
         self.metrics.note_issue(operation.is_put)
+        tracer = self._tracer
+        if tracer is not None:
+            self._begin_trace(tracer, operation)
         if operation.is_put:
             self.issue_put(operation)
         else:
             self.issue_rot(operation)
+
+    def _begin_trace(self, tracer, operation: Operation) -> None:
+        """Mint a trace id for this operation and emit its root span.
+
+        Only called when tracing is enabled; the id propagates through the
+        kernel's effects, the network, and back (see :mod:`repro.obs`).
+        """
+        trace = f"{self.node_id}#{self.sequence}"
+        self.current_trace = trace
+        self.kernel.current_trace = trace
+        tracer.emit(self.node_id, OP_START, trace=trace,
+                    name=operation.kind, dc=self.dc_id,
+                    data=(("key", operation.keys[0]),))
 
     # --------------------------------------------------------------- effects
     def resolve(self, addr: Addr) -> Node:
@@ -144,8 +164,14 @@ class BaseClient(Node):
 
     def execute_effects(self, effects: list[Effect]) -> None:
         """Run the kernel's effects, in order, against the simulator."""
+        tracer = self._tracer
         for effect in effects:
             if isinstance(effect, Send):
+                if tracer is not None:
+                    tracer.emit(self.node_id, MSG_SEND,
+                                trace=self.current_trace,
+                                name=type(effect.message).__name__,
+                                dc=self.dc_id)
                 self.send(self.resolve(effect.dest), effect.message)
             elif isinstance(effect, Complete):
                 result = effect.result
@@ -169,6 +195,10 @@ class BaseClient(Node):
         the PUT subsumed it — the context the checker must attribute to it.
         """
         self.metrics.record_put(self._op_started_at, self.sim.now)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.node_id, OP_FINISH, trace=self.current_trace,
+                        name="put", dc=self.dc_id, data=(("key", key),))
         if self.checker is not None:
             self.checker.record_put(RecordedPut(
                 key=key, timestamp=timestamp, origin_dc=origin_dc,
@@ -179,6 +209,10 @@ class BaseClient(Node):
     def complete_rot(self, rot_id: str, results: dict[str, ReadResult]) -> None:
         """Record the finished ROT and re-enter the closed loop."""
         self.metrics.record_rot(self._op_started_at, self.sim.now)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.node_id, OP_FINISH, trace=self.current_trace,
+                        name="rot", dc=self.dc_id)
         if self.checker is not None:
             reads = tuple(RecordedRead(key=result.key, timestamp=result.timestamp,
                                        origin_dc=result.origin_dc)
@@ -207,6 +241,12 @@ class BaseClient(Node):
     def handle_message(self, sender: Node, message: object) -> None:
         """Feed a reply to the kernel and execute its effects."""
         del sender
+        tracer = self._tracer
+        if tracer is not None:
+            trace = self.current_trace
+            self.kernel.current_trace = trace
+            tracer.emit(self.node_id, MSG_RECV, trace=trace,
+                        name=type(message).__name__, dc=self.dc_id)
         self.execute_effects(self.kernel.on_message(message, self.sim.now))
 
     def service_time(self, message: object) -> float:

@@ -150,6 +150,13 @@ class _EffectBuffer:
 
     def __init__(self) -> None:
         self._effects: list[Effect] = []
+        #: Observability hooks (see :mod:`repro.obs`): the driver attaches an
+        #: event bus and sets the trace id of the input being handled before
+        #: each entry-point call.  Both stay ``None`` with tracing disabled,
+        #: and every emit site guards on ``tracer is not None`` so the hot
+        #: path pays one attribute load.
+        self.tracer = None
+        self.current_trace: Optional[str] = None
 
     def _send(self, dest: Addr, message: object) -> None:
         self._effects.append(Send(dest=dest, message=message))

@@ -34,6 +34,7 @@ from repro.core.common.kernel import (
     SetTimer,
 )
 from repro.errors import ProtocolError
+from repro.obs.events import EFFECT, MSG_RECV, MSG_SEND
 from repro.sim.engine import PeriodicTask
 from repro.sim.node import Node
 from repro.storage.mvstore import MultiVersionStore
@@ -64,6 +65,10 @@ class PartitionServer(Node):
         self.partitioner = topology.partitioner
         self.kernel: Optional[ServerKernel] = None
         self._periodic_tasks: list[PeriodicTask] = []
+        #: Event bus (see :mod:`repro.obs`), attached by the harness builder
+        #: when tracing is enabled; ``None`` keeps every emit site to one
+        #: attribute load plus a None check.
+        self._tracer = None
 
     def attach_kernel(self, kernel: ServerKernel) -> None:
         """Bind the protocol kernel this driver executes."""
@@ -106,21 +111,42 @@ class PartitionServer(Node):
 
     def execute_effects(self, effects: list[Effect]) -> None:
         """Run the kernel's effects, in order, against the simulator."""
+        tracer = self._tracer
         for effect in effects:
             if isinstance(effect, Send):
+                if tracer is not None:
+                    tracer.emit(self.node_id, MSG_SEND,
+                                trace=self.current_trace,
+                                name=type(effect.message).__name__,
+                                dc=self.dc_id)
                 self.send(self.resolve(effect.dest), effect.message)
             elif isinstance(effect, SetTimer):
                 tag, payload = effect.tag, effect.payload
+                if tracer is not None:
+                    tracer.emit(self.node_id, EFFECT,
+                                trace=self.current_trace,
+                                name=f"set-timer:{tag}", dc=self.dc_id)
+                # The closure captures the current trace so timer-deferred
+                # work (Cure put-wait, rot-block) keeps its operation's
+                # trace; always None when tracing is disabled.
                 self.sim.schedule(effect.delay,
-                                  lambda tag=tag, payload=payload:
-                                  self._fire_timer(tag, payload),
+                                  lambda tag=tag, payload=payload,
+                                  trace=self.current_trace:
+                                  self._fire_timer(tag, payload, trace),
                                   label=tag)
             else:
                 raise ProtocolError(
                     f"{self.node_id} cannot execute effect {effect!r}")
 
-    def _fire_timer(self, tag: str, payload: object = None) -> None:
-        self.execute_effects(self.kernel.on_timer(tag, payload, self.sim.now))
+    def _fire_timer(self, tag: str, payload: object = None,
+                    trace: Optional[str] = None) -> None:
+        # Adopt the trace captured when the timer was armed (periodic tasks
+        # pass none, resetting the background context).
+        self.current_trace = trace
+        kernel = self.kernel
+        if self._tracer is not None:
+            kernel.current_trace = trace
+        self.execute_effects(kernel.on_timer(tag, payload, self.sim.now))
 
     def peers_in_dc(self) -> list["PartitionServer"]:
         """The other partition servers in this server's DC."""
@@ -134,6 +160,12 @@ class PartitionServer(Node):
     # ------------------------------------------------------------------ hooks
     def handle_message(self, sender: Node, message: object) -> None:
         """Feed the message to the kernel and execute its effects."""
+        tracer = self._tracer
+        if tracer is not None:
+            trace = self.current_trace
+            self.kernel.current_trace = trace
+            tracer.emit(self.node_id, MSG_RECV, trace=trace,
+                        name=type(message).__name__, dc=self.dc_id)
         self.execute_effects(self.kernel.on_message(
             self.address_of(sender), message, self.sim.now))
 

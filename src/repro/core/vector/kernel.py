@@ -49,6 +49,7 @@ from repro.core.common.messages import (
 )
 from repro.core.vector.clockbox import ClockBox
 from repro.errors import ProtocolError
+from repro.obs.events import GSS_ADVANCE, REPLICATE_APPLY, VISIBLE
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.version import Version
 
@@ -79,6 +80,9 @@ class VectorServerKernel(ServerKernel):
                                               partition_index)
         self._stabilization_interval = stabilization_interval
         self._heartbeat_interval = heartbeat_interval
+        # Traced replicated versions not yet covered by the GSS; entries are
+        # (trace, key, dependency_vector).  Only populated while tracing.
+        self._trace_pending: list[tuple[str, str, tuple[int, ...]]] = []
 
     # ------------------------------------------------------------ factories
     @classmethod
@@ -149,7 +153,11 @@ class VectorServerKernel(ServerKernel):
         self.version_vector[local] = max(self.version_vector[local],
                                          self.clock.read())
         vv = tuple(self.version_vector)
+        tracer = self.tracer
+        before = self.gss_state.gss if tracer is not None else None
         self.gss_state.update_local_vv(vv)
+        if tracer is not None and self.gss_state.gss != before:
+            self._trace_gss_advance(tracer)
         message = StabilizationMessage(partition_index=self.partition_index,
                                        version_vector=vv)
         for peer in self.peers_in_dc():
@@ -175,8 +183,12 @@ class VectorServerKernel(ServerKernel):
         elif isinstance(message, RotReadRequest):
             self._handle_read(message)
         elif isinstance(message, StabilizationMessage):
+            tracer = self.tracer
+            before = self.gss_state.gss if tracer is not None else None
             self.gss_state.observe_remote_vv(message.partition_index,
                                              message.version_vector)
+            if tracer is not None and self.gss_state.gss != before:
+                self._trace_gss_advance(tracer)
         elif isinstance(message, RemoteHeartbeat):
             self._observe_remote_timestamp(message.origin_dc, message.timestamp)
         elif isinstance(message, ReplicateUpdate):
@@ -245,6 +257,51 @@ class VectorServerKernel(ServerKernel):
                           created_at=self.now, writer=message.writer,
                           sequence=message.sequence)
         self.store.install(version)
+        tracer = self.tracer
+        if tracer is not None:
+            self._trace_replicate_apply(tracer, version)
+
+    # -------------------------------------------------------- trace helpers
+    def _trace_replicate_apply(self, tracer, version: Version) -> None:
+        """Record a replicated install and watch the version until the GSS
+        covers its dependency vector (its remote-visibility point)."""
+        trace = self.current_trace
+        tracer.emit(self.node_id, REPLICATE_APPLY, trace=trace,
+                    name=version.key, dc=self.dc_id,
+                    data=(("origin_dc", version.origin_dc),
+                          ("timestamp", version.timestamp)))
+        if trace is None:
+            return
+        if self._gss_covers(version.dependency_vector, self.gss_state.gss):
+            tracer.emit(self.node_id, VISIBLE, trace=trace,
+                        name=version.key, dc=self.dc_id)
+        else:
+            self._trace_pending.append(
+                (trace, version.key, version.dependency_vector))
+
+    def _gss_covers(self, dependency_vector: tuple[int, ...],
+                    gss: tuple[int, ...]) -> bool:
+        """Whether a replicated version is readable here: every *remote*
+        dependency entry is stable (the local entry is governed by the local
+        clock, which a fresh ROT snapshot always dominates)."""
+        local = self.dc_id
+        return all(dependency_vector[dc] <= gss[dc]
+                   for dc in range(self.num_dcs) if dc != local)
+
+    def _trace_gss_advance(self, tracer) -> None:
+        gss = self.gss_state.gss
+        tracer.emit(self.node_id, GSS_ADVANCE, name="gss", dc=self.dc_id,
+                    data=(("gss", repr(gss)),))
+        if not self._trace_pending:
+            return
+        still_pending = []
+        for trace, key, dependency_vector in self._trace_pending:
+            if self._gss_covers(dependency_vector, gss):
+                tracer.emit(self.node_id, VISIBLE, trace=trace, name=key,
+                            dc=self.dc_id)
+            else:
+                still_pending.append((trace, key, dependency_vector))
+        self._trace_pending = still_pending
 
     def _observe_remote_timestamp(self, origin_dc: int, timestamp: int) -> None:
         if origin_dc == self.dc_id:

@@ -17,6 +17,7 @@ from repro.cluster.seeding import preload_initial_keyspace
 from repro.cluster.topology import ClusterTopology
 from repro.core.registry import resolve
 from repro.metrics.collectors import MetricsRegistry
+from repro.obs.bus import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.workload.generator import WorkloadGenerator
@@ -34,6 +35,9 @@ class BuiltCluster:
     topology: ClusterTopology
     metrics: MetricsRegistry
     checker: Optional[CausalConsistencyChecker]
+    #: repro.obs event bus stamping virtual time; None unless built with
+    #: ``trace=True``.
+    trace_bus: Optional[EventBus] = None
     _stopped: bool = False
 
     def start(self) -> None:
@@ -63,7 +67,8 @@ class BuiltCluster:
 
 def build_cluster(protocol: str, config: ClusterConfig,
                   workload: WorkloadParameters, *,
-                  enable_checker: bool = False) -> BuiltCluster:
+                  enable_checker: bool = False,
+                  trace: bool = False) -> BuiltCluster:
     """Construct a ready-to-run cluster for ``protocol``.
 
     Parameters
@@ -78,6 +83,11 @@ def build_cluster(protocol: str, config: ClusterConfig,
     enable_checker:
         When True, every PUT and ROT is recorded and can be validated with the
         causal-consistency checker after the run (slower; meant for tests).
+    trace:
+        When True, attach a :class:`repro.obs.bus.EventBus` (virtual-time
+        stamps) to every node and kernel; the run's event stream is exposed
+        as :attr:`BuiltCluster.trace_bus`.  Tracing never perturbs the
+        simulation — a traced run produces bit-identical results.
     """
     server_cls, client_cls = resolve(protocol)
     sim = Simulator(seed=config.seed)
@@ -85,10 +95,14 @@ def build_cluster(protocol: str, config: ClusterConfig,
     topology = ClusterTopology(sim, network, config)
     metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
     checker = CausalConsistencyChecker() if enable_checker else None
+    trace_bus = EventBus(sim, source="sim") if trace else None
 
     for dc in range(config.num_dcs):
         for partition in range(config.num_partitions):
             server = server_cls(topology, dc, partition)
+            if trace_bus is not None:
+                server._tracer = trace_bus
+                server.kernel.tracer = trace_bus
             topology.add_server(server)
 
     preload_initial_keyspace(
@@ -105,11 +119,14 @@ def build_cluster(protocol: str, config: ClusterConfig,
                 workload, topology.partitioner, config.keys_per_partition,
                 rng=sim.derived_rng(f"workload:{dc}:{index}"))
             client = client_cls(topology, dc, index, generator, metrics, checker)
+            if trace_bus is not None:
+                client._tracer = trace_bus
+                client.kernel.tracer = trace_bus
             topology.add_client(client)
 
     return BuiltCluster(protocol=protocol, config=config, workload=workload,
                         sim=sim, topology=topology, metrics=metrics,
-                        checker=checker)
+                        checker=checker, trace_bus=trace_bus)
 
 
 __all__ = ["BuiltCluster", "build_cluster"]

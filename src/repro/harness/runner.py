@@ -19,6 +19,7 @@ from repro.faults.controller import FaultController
 from repro.faults.scenario import Scenario
 from repro.harness.builder import BuiltCluster, build_cluster
 from repro.metrics.collectors import RunResult
+from repro.obs.trace import TraceAssembler
 from repro.sim.costs import OverheadCounters
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
@@ -31,6 +32,9 @@ class ExperimentOutcome:
     cluster: BuiltCluster
     checker_report: Optional[CheckerReport] = None
     faults: Optional[FaultController] = None
+    #: Assembled virtual-time timeline (None unless ``trace=True``); feed to
+    #: :func:`repro.obs.export.write_chrome_trace` for a Perfetto dump.
+    trace: Optional[TraceAssembler] = None
 
 
 def run_experiment(protocol: str,
@@ -39,6 +43,7 @@ def run_experiment(protocol: str,
                    enable_checker: bool = False,
                    check_consistency: bool = False,
                    scenario: Optional[Scenario] = None,
+                   trace: bool = False,
                    label: str = "") -> ExperimentOutcome:
     """Run one experiment and return its outcome.
 
@@ -59,11 +64,17 @@ def run_experiment(protocol: str,
         Optional fault scenario to execute during the run; the result then
         carries one :class:`~repro.metrics.collectors.PhaseSlice` per phase.
         ``None`` (or an empty scenario) takes the unmodified healthy path.
+    trace:
+        Record the run's repro.obs event stream (virtual-time stamps) and
+        attach the assembled timeline to the outcome; the result row then
+        carries the per-write remote-visibility lag distribution.  Never
+        perturbs the simulation.
     """
     config = config or ClusterConfig()
     workload = workload or DEFAULT_WORKLOAD
     cluster = build_cluster(protocol, config, workload,
-                            enable_checker=enable_checker or check_consistency)
+                            enable_checker=enable_checker or check_consistency,
+                            trace=trace)
     controller: Optional[FaultController] = None
     if scenario is not None and not scenario.is_empty:
         controller = FaultController(cluster.topology, cluster.metrics, scenario)
@@ -73,6 +84,11 @@ def run_experiment(protocol: str,
     cluster.stop()
     if controller is not None:
         controller.shutdown()
+
+    assembler: Optional[TraceAssembler] = None
+    if cluster.trace_bus is not None:
+        assembler = TraceAssembler()
+        assembler.ingest_bus(cluster.trace_bus)
 
     overhead = OverheadCounters()
     for server in cluster.topology.all_servers():
@@ -85,7 +101,9 @@ def run_experiment(protocol: str,
         overhead=overhead,
         cpu_utilization=cluster.topology.average_cpu_utilization(
             config.duration_seconds),
-        label=label or workload.describe())
+        label=label or workload.describe(),
+        visibility_trace=(assembler.visibility_summary()
+                          if assembler is not None else None))
 
     report: Optional[CheckerReport] = None
     if cluster.checker is not None:
@@ -93,7 +111,8 @@ def run_experiment(protocol: str,
         if check_consistency:
             report.raise_if_violations()
     return ExperimentOutcome(result=result, cluster=cluster,
-                             checker_report=report, faults=controller)
+                             checker_report=report, faults=controller,
+                             trace=assembler)
 
 
 def load_sweep(protocol: str, client_counts: Sequence[int],

@@ -24,9 +24,10 @@ from repro.metrics.overheads import OverheadCounters
 
 #: Version of the ``as_json_dict`` payload layout.  Bump when the layout
 #: changes; ``RunResult.from_json_dict`` accepts every version listed in
-#: :data:`SUPPORTED_SCHEMA_VERSIONS`.
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: :data:`SUPPORTED_SCHEMA_VERSIONS`.  Version 3 added the optional
+#: ``visibility_trace`` summary (absent in earlier payloads).
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -117,6 +118,10 @@ class RunResult:
     cpu_utilization: float
     label: str = ""
     phases: tuple[PhaseSlice, ...] = ()
+    #: Per-write issue-to-remote-visibility lag distribution (the paper's
+    #: update-visibility metric, Fig. 2), assembled from the repro.obs
+    #: timeline; None unless the run traced.
+    visibility_trace: Optional[LatencySummary] = None
 
     @property
     def rot_mean_ms(self) -> float:
@@ -168,6 +173,9 @@ class RunResult:
             "cpu_utilization": self.cpu_utilization,
             "label": self.label,
             "phases": [phase.as_json_dict() for phase in self.phases],
+            "visibility_trace": (asdict(self.visibility_trace)
+                                 if self.visibility_trace is not None
+                                 else None),
         }
 
     @staticmethod
@@ -199,6 +207,9 @@ class RunResult:
             label=str(payload.get("label", "")),
             phases=tuple(PhaseSlice.from_json_dict(phase)  # type: ignore[arg-type]
                          for phase in payload.get("phases", ())),
+            visibility_trace=(
+                LatencySummary(**payload["visibility_trace"])  # type: ignore[arg-type]
+                if payload.get("visibility_trace") is not None else None),
         )
 
     def as_row(self) -> dict[str, object]:
@@ -343,12 +354,16 @@ class MetricsRegistry:
     def finalize(self, *, protocol: str, num_dcs: int, clients: int,
                  measurement_seconds: float, overhead: OverheadCounters,
                  cpu_utilization: float, label: str = "",
-                 rot_size: Optional[int] = None) -> RunResult:
+                 rot_size: Optional[int] = None,
+                 visibility_trace: Optional[LatencySummary] = None
+                 ) -> RunResult:
         """Produce the immutable result row for this run.
 
         ``rot_size`` is accepted for interface completeness (the paper counts
         throughput in operations, not individual reads, so it is not used in
-        the computation).
+        the computation).  ``visibility_trace`` is the assembled per-write
+        remote-visibility lag distribution of a traced run (see
+        :mod:`repro.obs`).
         """
         del rot_size
         operations = self.rots_completed + self.puts_completed
@@ -371,6 +386,7 @@ class MetricsRegistry:
             cpu_utilization=cpu_utilization,
             label=label,
             phases=tuple(phases),
+            visibility_trace=visibility_trace,
         )
 
 

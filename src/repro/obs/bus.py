@@ -1,0 +1,88 @@
+"""Bounded, time-source-pluggable event bus.
+
+One :class:`EventBus` instance serves one process (or, in the simulator, one
+run): every instrumented node holds a reference and calls :meth:`EventBus.emit`
+behind a ``tracer is not None`` guard, so a disabled bus costs exactly one
+attribute load per potential emit site.  The buffer is a bounded ring — a
+runaway run cannot exhaust memory — and the sequence counter keeps advancing
+when the ring evicts, so the :class:`~repro.obs.trace.TraceAssembler`'s
+sequence-gap check catches overflow the same way it catches transport loss.
+
+Timestamps come from a pluggable time source (anything with a ``.now``
+float attribute — the :class:`~repro.sim.engine.Simulator` itself, a
+:class:`~repro.clocks.timesource.WallClock`, or a test
+:class:`~repro.clocks.timesource.FixedClock`), so simulated runs emit
+virtual-time events and realtime runs emit run-relative wall-clock events
+that are comparable across processes synced to one wall epoch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.clocks.timesource import TimeSource
+from repro.obs.events import TraceEvent
+
+#: Default ring capacity; ~260k events bounds a trace-enabled smoke run
+#: while capping the buffer at tens of megabytes.
+DEFAULT_BUS_CAPACITY = 1 << 18
+
+
+class EventBus:
+    """Collects :class:`~repro.obs.events.TraceEvent` records from one process."""
+
+    __slots__ = ("time_source", "source", "capacity", "next_seq", "dropped",
+                 "_events")
+
+    def __init__(self, time_source: TimeSource, *,
+                 capacity: int = DEFAULT_BUS_CAPACITY,
+                 source: str = "local") -> None:
+        if capacity < 1:
+            raise ValueError(f"bus capacity must be positive, got {capacity}")
+        self.time_source = time_source
+        self.source = source
+        self.capacity = capacity
+        self.next_seq = 0
+        self.dropped = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, node: str, kind: str, *, trace: Optional[str] = None,
+             name: str = "", dc: int = -1,
+             data: Tuple[Tuple[str, object], ...] = ()) -> None:
+        """Record one event stamped with the current time-source reading.
+
+        Callers guard this with ``if tracer is not None`` so a disabled bus
+        never reaches here; the emit itself is one dataclass construction
+        and a deque append.
+        """
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        events = self._events
+        if len(events) == self.capacity:
+            # The deque evicts the oldest entry on append; count it so the
+            # assembler can report the loss even before it sees the seq gap.
+            self.dropped += 1
+        events.append(TraceEvent(seq=seq, ts=self.time_source.now, node=node,
+                                 kind=kind, trace=trace, name=name, dc=dc,
+                                 data=data))
+
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """Snapshot of the buffered events, oldest first."""
+        return tuple(self._events)
+
+    def drain(self) -> Tuple[TraceEvent, ...]:
+        """Snapshot the buffer and clear it (used when shipping to a parent)."""
+        events = tuple(self._events)
+        self._events.clear()
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"EventBus(source={self.source!r}, buffered={len(self)}, "
+                f"emitted={self.next_seq}, dropped={self.dropped})")
+
+
+__all__ = ["DEFAULT_BUS_CAPACITY", "EventBus"]

@@ -1,0 +1,200 @@
+"""Exporters: Chrome-trace/Perfetto timelines and Prometheus text snapshots.
+
+Two output formats, both dependency-free:
+
+* :func:`write_chrome_trace` renders event streams as Chrome trace-event JSON
+  (``{"traceEvents": [...]}``) — open it at ``chrome://tracing`` or
+  https://ui.perfetto.dev.  Client operations with matched start/finish
+  events become complete (``"X"``) spans; every other event is an instant
+  (``"i"``).  Each group of events (one per protocol, or just one for a
+  single run) maps to a Perfetto *process* row and each emitting node to a
+  *thread* row, named via ``"M"`` metadata records.
+* :func:`prometheus_snapshot` renders run counters, latency summaries and
+  bus health as Prometheus text exposition format (``# TYPE`` + samples),
+  greppable and scrapable without a client library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.metrics.latency import LatencySummary
+from repro.obs.events import OP_FINISH, OP_START, TraceEvent
+
+#: Quantile labels for LatencySummary → Prometheus summary conversion.
+_SUMMARY_QUANTILES = (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms"))
+
+
+def chrome_trace_events(events: Sequence[TraceEvent], *, pid: int = 0,
+                        group: str = "") -> List[dict]:
+    """Convert one event stream into Chrome trace-event records.
+
+    ``pid`` is the Perfetto process row; ``group`` its display name.
+    Timestamps are microseconds relative to the stream's first event, so
+    sim (virtual-time) and realtime (wall-clock) streams both start at 0.
+    """
+    records: List[dict] = []
+    if group:
+        records.append({"ph": "M", "pid": pid, "name": "process_name",
+                        "args": {"name": group}})
+    if not events:
+        return records
+    origin = min(event.ts for event in events)
+    tids: Dict[str, int] = {}
+    # One span per in-flight client operation: op_start opens, the next
+    # op_finish on the same (node, trace) closes.
+    open_spans: Dict[tuple, dict] = {}
+    for event in events:
+        tid = tids.get(event.node)
+        if tid is None:
+            tid = tids[event.node] = len(tids) + 1
+            records.append({"ph": "M", "pid": pid, "tid": tid,
+                            "name": "thread_name",
+                            "args": {"name": event.node}})
+        ts_us = (event.ts - origin) * 1e6
+        args = {key: value for key, value in event.data}
+        if event.trace is not None:
+            args["trace"] = event.trace
+        if event.kind == OP_START:
+            open_spans[(event.node, event.trace)] = {
+                "ph": "X", "pid": pid, "tid": tid, "cat": "op",
+                "name": event.name or event.kind, "ts": ts_us, "dur": 0.0,
+                "args": args}
+        elif event.kind == OP_FINISH:
+            span = open_spans.pop((event.node, event.trace), None)
+            if span is not None:
+                span["dur"] = max(ts_us - span["ts"], 0.0)
+                records.append(span)
+            else:
+                records.append({"ph": "i", "pid": pid, "tid": tid, "s": "t",
+                                "cat": event.kind, "name": event.name or
+                                event.kind, "ts": ts_us, "args": args})
+        else:
+            records.append({"ph": "i", "pid": pid, "tid": tid, "s": "t",
+                            "cat": event.kind,
+                            "name": event.name or event.kind,
+                            "ts": ts_us, "args": args})
+    # Operations still in flight at the end of the stream export as
+    # zero-duration spans rather than disappearing.
+    records.extend(open_spans.values())
+    return records
+
+
+def write_chrome_trace(path: str,
+                       groups: Mapping[str, Sequence[TraceEvent]],
+                       *, metadata: Optional[dict] = None) -> dict:
+    """Write a Chrome-trace JSON file merging one or more event groups.
+
+    ``groups`` maps a display label (e.g. protocol name) to its events; each
+    label becomes one Perfetto process row.  Returns summary statistics
+    (events and spans per group) for benchmark reports.
+    """
+    trace_events: List[dict] = []
+    stats: Dict[str, int] = {}
+    for pid, (label, events) in enumerate(sorted(groups.items()), start=1):
+        records = chrome_trace_events(events, pid=pid, group=label or "run")
+        trace_events.extend(records)
+        stats[label or "run"] = len(events)
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metadata:
+        document["metadata"] = metadata
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return {"path": path, "records": len(trace_events),
+            "events_per_group": stats}
+
+
+def _metric(lines: List[str], name: str, kind: str, value,
+            help_text: str = "") -> None:
+    if help_text:
+        lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+    lines.append(f"{name} {value}")
+
+
+def _summary_metric(lines: List[str], name: str, summary: LatencySummary,
+                    help_text: str = "") -> None:
+    if help_text:
+        lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} summary")
+    payload = asdict(summary)
+    for quantile, field_name in _SUMMARY_QUANTILES:
+        lines.append(f'{name}{{quantile="{quantile}"}} {payload[field_name]}')
+    lines.append(f"{name}_count {summary.count}")
+    lines.append(f"{name}_max {summary.max_ms}")
+    lines.append(f"{name}_mean {summary.mean_ms}")
+
+
+def prometheus_snapshot(*, metrics=None, overhead=None, bus=None,
+                        assembler=None, result=None,
+                        prefix: str = "repro") -> str:
+    """Render current counters/gauges/summaries as Prometheus text format.
+
+    Every argument is optional; pass whichever telemetry sources exist:
+    a live :class:`~repro.metrics.collectors.MetricsRegistry`, merged
+    :class:`~repro.metrics.overheads.OverheadCounters`, an
+    :class:`~repro.obs.bus.EventBus`, a
+    :class:`~repro.obs.trace.TraceAssembler`, or a finalized
+    :class:`~repro.metrics.collectors.RunResult`.
+    """
+    lines: List[str] = []
+    if metrics is not None:
+        _metric(lines, f"{prefix}_rots_completed_total", "counter",
+                metrics.rots_completed, "Completed ROTs after warmup")
+        _metric(lines, f"{prefix}_puts_completed_total", "counter",
+                metrics.puts_completed, "Completed PUTs after warmup")
+        _metric(lines, f"{prefix}_rots_issued_total", "counter",
+                metrics.rots_issued, "Issued ROTs including warmup")
+        _metric(lines, f"{prefix}_puts_issued_total", "counter",
+                metrics.puts_issued, "Issued PUTs including warmup")
+        _summary_metric(lines, f"{prefix}_rot_latency_ms",
+                        metrics.rot_latencies.summary(),
+                        "ROT latency distribution (milliseconds)")
+        _summary_metric(lines, f"{prefix}_put_latency_ms",
+                        metrics.put_latencies.summary(),
+                        "PUT latency distribution (milliseconds)")
+    if result is not None:
+        _metric(lines, f"{prefix}_throughput_kops", "gauge",
+                result.throughput_kops, "Run throughput in kops/s")
+        _metric(lines, f"{prefix}_cpu_utilization", "gauge",
+                result.cpu_utilization, "Average server CPU utilization")
+        visibility = getattr(result, "visibility_trace", None)
+        if visibility is not None:
+            _summary_metric(lines, f"{prefix}_visibility_lag_ms", visibility,
+                            "Per-write issue-to-remote-visible lag "
+                            "(milliseconds)")
+    if overhead is not None:
+        for field_name in ("messages_sent", "bytes_sent", "readers_checks",
+                           "readers_check_messages", "rot_ids_distinct",
+                           "rot_ids_cumulative", "dependency_entries_sent",
+                           "stabilization_messages", "replication_messages",
+                           "blocked_reads"):
+            _metric(lines, f"{prefix}_{field_name}_total", "counter",
+                    getattr(overhead, field_name))
+        _metric(lines, f"{prefix}_block_time_seconds_total", "counter",
+                overhead.total_block_time)
+    if bus is not None:
+        _metric(lines, f"{prefix}_trace_events_emitted_total", "counter",
+                bus.next_seq, "Trace events emitted on this bus")
+        _metric(lines, f"{prefix}_trace_events_dropped_total", "counter",
+                bus.dropped, "Trace events evicted by the ring buffer")
+        _metric(lines, f"{prefix}_trace_events_buffered", "gauge", len(bus))
+    if assembler is not None:
+        _metric(lines, f"{prefix}_trace_sources", "gauge",
+                len(assembler.sources), "Event streams merged into the "
+                "global timeline")
+        _metric(lines, f"{prefix}_trace_events_total", "counter",
+                len(assembler.events()))
+        _metric(lines, f"{prefix}_trace_events_lost_total", "counter",
+                assembler.total_dropped(),
+                "Sequence gaps detected across all sources")
+        _summary_metric(lines, f"{prefix}_visibility_lag_assembled_ms",
+                        assembler.visibility_summary(),
+                        "Assembled per-write remote-visibility lag "
+                        "(milliseconds)")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["chrome_trace_events", "prometheus_snapshot", "write_chrome_trace"]

@@ -1,0 +1,238 @@
+"""Global timeline assembly and write-lifecycle chains.
+
+A :class:`TraceAssembler` merges event streams from any number of sources —
+the single sim bus, an in-process realtime bus, or one bus per TCP worker
+process — into one globally ordered timeline.  Per source it verifies the
+bus sequence numbers are contiguous (ring overflow and transport loss both
+surface as gaps), and across the merged stream it reconstructs each traced
+write's lifecycle chain::
+
+    op_start (issue, origin DC)
+      └─ msg_send ReplicateUpdate / CcloReplicateUpdate   (send)
+           └─ replicate_apply @ remote DC                 (apply)
+                └─ visible @ remote DC                    (visible)
+
+The issue→visible gap per remote DC is the paper's update-visibility latency;
+:meth:`TraceAssembler.visibility_summary` folds those lags into the same
+:class:`~repro.metrics.latency.LatencySummary` shape the rest of the metrics
+stack uses, which is what lands in ``RunResult.visibility_trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.obs.events import (
+    MSG_SEND,
+    OP_FINISH,
+    OP_START,
+    REPLICATE_APPLY,
+    TraceEvent,
+    VISIBLE,
+)
+
+#: Message class names that carry a write to remote DCs (vector protocols
+#: and CC-LO respectively); a trace's first such send is its "send" step.
+REPLICATION_MESSAGES = ("ReplicateUpdate", "CcloReplicateUpdate")
+
+
+@dataclass
+class WriteChain:
+    """Lifecycle milestones of one traced write, keyed by trace id."""
+
+    trace: str
+    key: str = ""
+    origin_dc: int = -1
+    issue_ts: Optional[float] = None
+    send_ts: Optional[float] = None
+    finish_ts: Optional[float] = None
+    applies: Dict[int, float] = field(default_factory=dict)
+    visibles: Dict[int, float] = field(default_factory=dict)
+
+    def visibility_lags(self) -> Dict[int, float]:
+        """Per-remote-DC issue→visible lag in seconds (empty until issued)."""
+        if self.issue_ts is None:
+            return {}
+        return {dc: ts - self.issue_ts for dc, ts in self.visibles.items()}
+
+    def is_complete(self, num_remote_dcs: int) -> bool:
+        """Whether the full issue→send→apply→visible chain was observed
+        for ``num_remote_dcs`` remote data centers."""
+        return (self.issue_ts is not None
+                and self.send_ts is not None
+                and len(self.applies) >= num_remote_dcs
+                and len(self.visibles) >= num_remote_dcs)
+
+
+@dataclass
+class _SourceStream:
+    events: List[TraceEvent] = field(default_factory=list)
+    declared_dropped: int = 0
+
+
+class TraceAssembler:
+    """Merges per-process event streams into one verified global timeline."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, _SourceStream] = {}
+
+    # ------------------------------------------------------------- ingestion
+    def add_events(self, events: Iterable[TraceEvent], *,
+                   source: str = "local", dropped: int = 0) -> None:
+        """Fold one batch of events from ``source`` into the timeline.
+
+        ``dropped`` is the emitting bus's cumulative drop counter (not a
+        per-batch delta), so repeated ingestion from the same source keeps
+        the maximum.
+        """
+        stream = self._sources.setdefault(source, _SourceStream())
+        stream.events.extend(events)
+        stream.declared_dropped = max(stream.declared_dropped, dropped)
+
+    def ingest_bus(self, bus, *, source: Optional[str] = None) -> None:
+        """Drain an :class:`~repro.obs.bus.EventBus` into the timeline."""
+        self.add_events(bus.drain(), source=source or bus.source,
+                        dropped=bus.dropped)
+
+    # ------------------------------------------------------------- integrity
+    def sequence_gaps(self) -> Dict[str, int]:
+        """Per-source count of missing sequence numbers (0 = gap-free).
+
+        Counts both declared ring drops and silent losses: the seq range a
+        source covered minus the events that actually arrived.
+        """
+        gaps: Dict[str, int] = {}
+        for source, stream in self._sources.items():
+            if not stream.events:
+                gaps[source] = stream.declared_dropped
+                continue
+            seqs = sorted(event.seq for event in stream.events)
+            span = seqs[-1] - seqs[0] + 1
+            missing = span - len(seqs)
+            # seqs start at 0 on every bus; a stream whose first seq is > 0
+            # lost its head (ring eviction).
+            missing += seqs[0]
+            gaps[source] = max(missing, stream.declared_dropped)
+        return gaps
+
+    def total_dropped(self) -> int:
+        """Events lost across all sources (assembler-level gap check)."""
+        return sum(self.sequence_gaps().values())
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._sources))
+
+    # --------------------------------------------------------------- queries
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """The merged timeline ordered by timestamp (source/seq tiebreak)."""
+        merged = [(event.ts, source, event.seq, event)
+                  for source, stream in self._sources.items()
+                  for event in stream.events]
+        merged.sort(key=lambda item: item[:3])
+        return tuple(item[3] for item in merged)
+
+    def events_for(self, trace: str) -> Tuple[TraceEvent, ...]:
+        """Timeline slice for one trace id."""
+        return tuple(event for event in self.events() if event.trace == trace)
+
+    def write_chains(self) -> Dict[str, WriteChain]:
+        """Reconstruct the lifecycle chain of every traced write."""
+        chains: Dict[str, WriteChain] = {}
+        for event in self.events():
+            trace = event.trace
+            if trace is None:
+                continue
+            kind = event.kind
+            if kind == OP_START and event.name == "put":
+                chain = chains.setdefault(trace, WriteChain(trace=trace))
+                if chain.issue_ts is None:
+                    chain.issue_ts = event.ts
+                    chain.origin_dc = event.dc
+            elif kind == MSG_SEND and event.name in REPLICATION_MESSAGES:
+                chain = chains.get(trace)
+                if chain is not None and chain.send_ts is None:
+                    chain.send_ts = event.ts
+            elif kind == REPLICATE_APPLY:
+                chain = chains.get(trace)
+                if chain is not None:
+                    chain.applies.setdefault(event.dc, event.ts)
+                    if not chain.key:
+                        chain.key = event.name
+            elif kind == VISIBLE:
+                chain = chains.get(trace)
+                if chain is not None:
+                    chain.visibles.setdefault(event.dc, event.ts)
+                    if not chain.key:
+                        chain.key = event.name
+            elif kind == OP_FINISH and event.name == "put":
+                chain = chains.get(trace)
+                if chain is not None and chain.finish_ts is None:
+                    chain.finish_ts = event.ts
+        return chains
+
+    def complete_chains(self, num_remote_dcs: int) -> List[WriteChain]:
+        """Writes whose full issue→send→apply→visible chain was captured."""
+        return [chain for chain in self.write_chains().values()
+                if chain.is_complete(num_remote_dcs)]
+
+    def visibility_lags(self) -> List[Tuple[str, int, float]]:
+        """Every observed ``(trace, remote_dc, issue→visible seconds)``."""
+        lags: List[Tuple[str, int, float]] = []
+        for chain in self.write_chains().values():
+            for dc, lag in sorted(chain.visibility_lags().items()):
+                lags.append((chain.trace, dc, lag))
+        return lags
+
+    def visibility_summary(self) -> LatencySummary:
+        """Distribution of per-write remote-visibility lag (Fig. 2 metric)."""
+        recorder = LatencyRecorder()
+        recorder.extend(lag for _trace, _dc, lag in self.visibility_lags())
+        return recorder.summary()
+
+
+def render_span_tree(events: Sequence[TraceEvent], *,
+                     unit: str = "ms") -> str:
+    """Render one trace's events as an annotated, chronologically nested tree.
+
+    Events are grouped into spans per node (a node's consecutive events form
+    one branch) with each line annotated with the offset from the trace's
+    first event.  ``unit`` is ``"ms"`` (default) or ``"us"``.
+    """
+    if not events:
+        return "(no events)"
+    scale, suffix = (1e3, "ms") if unit == "ms" else (1e6, "µs")
+    ordered = sorted(events, key=lambda event: (event.ts, event.node, event.seq))
+    origin = ordered[0].ts
+    trace = ordered[0].trace
+    lines = [f"trace {trace}" if trace else "trace (untraced events)"]
+    current_node = None
+    for event in ordered:
+        offset = (event.ts - origin) * scale
+        if event.node != current_node:
+            current_node = event.node
+            dc = f" (dc{event.dc})" if event.dc >= 0 else ""
+            lines.append(f"├─ {event.node}{dc}")
+        detail = f" {event.name}" if event.name else ""
+        extra = "".join(f" {key}={value}" for key, value in event.data)
+        lines.append(f"│   ├─ +{offset:9.3f}{suffix}  {event.kind}{detail}{extra}")
+    # Close the tree with rounded corners on the last branch.
+    for index in range(len(lines) - 1, 0, -1):
+        if lines[index].startswith("│   ├─"):
+            lines[index] = "│   └─" + lines[index][len("│   ├─"):]
+            break
+    for index in range(len(lines) - 1, 0, -1):
+        if lines[index].startswith("├─"):
+            tail = [lines[index].replace("├─", "└─", 1)]
+            for line in lines[index + 1:]:
+                tail.append("    " + line[len("│   "):] if line.startswith("│   ")
+                            else line)
+            lines[index:] = tail
+            break
+    return "\n".join(lines)
+
+
+__all__ = ["REPLICATION_MESSAGES", "TraceAssembler", "WriteChain",
+           "render_span_tree"]

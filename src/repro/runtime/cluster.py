@@ -33,6 +33,8 @@ from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError, RuntimeBackendError
 from repro.metrics.collectors import MetricsRegistry
 from repro.metrics.overheads import OverheadCounters
+from repro.obs.bus import EventBus
+from repro.obs.trace import TraceAssembler
 from repro.runtime.nodes import RealtimeClient, RealtimeServer
 from repro.runtime.transport import InprocTransport, Transport
 from repro.workload.generator import WorkloadGenerator
@@ -72,6 +74,10 @@ class RealtimeCluster:
         The (DC, partition) pairs instantiated *locally*; ``None`` (default)
         means the full topology.  Worker processes pass their slice and rely
         on the transport's peer table for everything else.
+    trace / trace_source:
+        Enable the :mod:`repro.obs` event bus on every local node (wall-clock
+        timestamps); ``trace_source`` labels this cluster's event stream in
+        the merged timeline (worker processes pass their worker id).
     """
 
     def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
@@ -79,7 +85,8 @@ class RealtimeCluster:
                  enable_checker: bool = False,
                  workload_clients: bool = True,
                  transport: Optional[Transport] = None,
-                 server_ids: Optional[Iterable[tuple[int, int]]] = None) -> None:
+                 server_ids: Optional[Iterable[tuple[int, int]]] = None,
+                 trace: bool = False, trace_source: str = "local") -> None:
         self.protocol = protocol
         self.config = config = config or ClusterConfig()
         self.workload = workload = workload or DEFAULT_WORKLOAD
@@ -94,6 +101,8 @@ class RealtimeCluster:
         self.partitioner = HashPartitioner(config.num_partitions)
         self.metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
         self.checker = CausalConsistencyChecker() if enable_checker else None
+        self.trace_bus: Optional[EventBus] = (
+            EventBus(self.clock, source=trace_source) if trace else None)
         self._closed = False
         self._started = False
 
@@ -109,6 +118,9 @@ class RealtimeCluster:
                 config, dc, partition, partitioner=self.partitioner,
                 time_source=self.clock, skew_offset_us=offset)
             server = RealtimeServer(self, kernel)
+            if self.trace_bus is not None:
+                server.tracer = self.trace_bus
+                kernel.tracer = self.trace_bus
             self.servers[(dc, partition)] = server
             self.transport.register_local(server.addr, server)
         self._preload_keyspace()
@@ -138,6 +150,9 @@ class RealtimeCluster:
             self.config, client_id, dc, partitioner=self.partitioner,
             rng=node_rng(self.config.seed, "client", dc, index))
         client = RealtimeClient(self, kernel, generator=generator)
+        if self.trace_bus is not None:
+            client.tracer = self.trace_bus
+            kernel.tracer = self.trace_bus
         self.clients.append(client)
         self._clients_by_id[client_id] = client
         self.transport.register_local(client.addr, client)
@@ -162,9 +177,10 @@ class RealtimeCluster:
         return [client for client in self.clients if client.dc_id == dc]
 
     # ---------------------------------------------------------------- routing
-    def route(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
+    def route(self, sender: Optional[Addr], dest: Addr, message: object,
+              trace: Optional[str] = None) -> None:
         """Deliver a kernel Send effect through the transport."""
-        self.transport.send(sender, dest, message)
+        self.transport.send(sender, dest, message, trace)
 
     # -------------------------------------------------------------- lifecycle
     async def start(self, *, wall_epoch: Optional[float] = None) -> None:
@@ -215,6 +231,16 @@ class RealtimeCluster:
             if node.failure is not None:
                 return node.failure
         return self.transport.failure
+
+    # ------------------------------------------------------------------ trace
+    def collect_trace(self) -> Optional[TraceAssembler]:
+        """Drain the local event bus into a fresh assembler (None if off)."""
+        bus = self.trace_bus
+        if bus is None:
+            return None
+        assembler = TraceAssembler()
+        assembler.ingest_bus(bus)
+        return assembler
 
     # ------------------------------------------------------------------ stats
     def overhead(self) -> OverheadCounters:

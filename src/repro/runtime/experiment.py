@@ -34,6 +34,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import RunResult
+from repro.obs.trace import TraceAssembler
 from repro.runtime.cluster import RealtimeCluster, drive_closed_loops
 from repro.runtime.process import ProcessCluster
 from repro.runtime.transport import TRANSPORTS
@@ -50,6 +51,9 @@ class RealtimeOutcome:
     result: RunResult
     cluster: Union[RealtimeCluster, ProcessCluster]
     checker_report: Optional[CheckerReport] = None
+    #: Assembled run-wide timeline (None unless ``trace=True``); feed to
+    #: :func:`repro.obs.export.write_chrome_trace` for a Perfetto dump.
+    trace: Optional[TraceAssembler] = None
 
 
 def _validate_transport(protocol: str, transport: str) -> None:
@@ -70,6 +74,7 @@ def run_realtime_experiment(protocol: str,
                             transport: str = "inproc",
                             enable_checker: bool = False,
                             check_consistency: bool = False,
+                            trace: bool = False,
                             label: str = "") -> RealtimeOutcome:
     """Run one wall-clock experiment and return its outcome.
 
@@ -97,7 +102,7 @@ def run_realtime_experiment(protocol: str,
     if transport == "tcp":
         cluster: Union[RealtimeCluster, ProcessCluster] = ProcessCluster(
             protocol, config, workload, enable_checker=enable_checker,
-            workload_clients=True)
+            workload_clients=True, trace=trace)
 
         async def _run() -> None:
             # stop() also covers a start() that failed mid-handshake: the
@@ -112,7 +117,8 @@ def run_realtime_experiment(protocol: str,
                 raise failure
     else:
         cluster = RealtimeCluster(protocol, config, workload,
-                                  enable_checker=enable_checker)
+                                  enable_checker=enable_checker,
+                                  trace=trace)
 
         async def _run() -> None:
             try:
@@ -128,6 +134,7 @@ def run_realtime_experiment(protocol: str,
 
     asyncio.run(_run())
 
+    assembler = cluster.collect_trace() if trace else None
     measurement = max(duration - config.warmup_seconds, 1e-9)
     result = cluster.metrics.finalize(
         protocol=protocol,
@@ -136,7 +143,9 @@ def run_realtime_experiment(protocol: str,
         measurement_seconds=measurement,
         overhead=cluster.overhead(),
         cpu_utilization=0.0,
-        label=label or f"realtime[{transport}] {workload.describe()}")
+        label=label or f"realtime[{transport}] {workload.describe()}",
+        visibility_trace=(assembler.visibility_summary()
+                          if assembler is not None else None))
 
     report: Optional[CheckerReport] = None
     if cluster.checker is not None:
@@ -144,7 +153,7 @@ def run_realtime_experiment(protocol: str,
         if check_consistency:
             report.raise_if_violations()
     return RealtimeOutcome(result=result, cluster=cluster,
-                           checker_report=report)
+                           checker_report=report, trace=assembler)
 
 
 __all__ = ["DEFAULT_REALTIME_DURATION", "RealtimeOutcome",

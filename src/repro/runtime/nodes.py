@@ -41,6 +41,7 @@ from repro.core.common.kernel import (
     TimerSpec,
 )
 from repro.errors import ProtocolError, RuntimeBackendError
+from repro.obs.events import EFFECT, MSG_RECV, MSG_SEND, OP_FINISH, OP_START
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.cluster import RealtimeCluster
@@ -68,10 +69,17 @@ class _MailboxNode:
         #: :meth:`RealtimeCluster.first_failure` so a dead pump fails the run
         #: with its root cause instead of an opaque downstream timeout.
         self.failure: Optional[BaseException] = None
+        #: Event bus (see :mod:`repro.obs`), attached by the cluster when
+        #: tracing is enabled, and the trace id of the message currently
+        #: being served; both stay None with tracing disabled and every emit
+        #: site guards on ``tracer is not None``.
+        self.tracer = None
+        self.current_trace: Optional[str] = None
 
-    def deliver(self, sender: Addr, message: object) -> None:
+    def deliver(self, sender: Addr, message: object,
+                trace: Optional[str] = None) -> None:
         """Called by the cluster router when a message arrives here."""
-        self.mailbox.put_nowait((sender, message))
+        self.mailbox.put_nowait((sender, message, trace))
 
     def _spawn(self, coro) -> asyncio.Task:
         task = asyncio.ensure_future(coro)
@@ -127,6 +135,7 @@ class RealtimeServer(_MailboxNode):
         self.kernel = kernel
         self.addr = ServerAddr(kernel.dc_id, kernel.partition_index)
         self.node_id = kernel.node_id
+        self.dc_id = kernel.dc_id
 
     # ------------------------------------------------------------------ store
     @property
@@ -139,21 +148,39 @@ class RealtimeServer(_MailboxNode):
 
     # ---------------------------------------------------------------- effects
     def execute_effects(self, effects: list[Effect]) -> None:
+        tracer = self.tracer
         for effect in effects:
             if isinstance(effect, Send):
                 self.counters.messages_sent += 1
                 size_fn = getattr(effect.message, "size_bytes", None)
                 if callable(size_fn):
                     self.counters.bytes_sent += int(size_fn())
-                self.cluster.route(self.addr, effect.dest, effect.message)
+                if tracer is not None:
+                    tracer.emit(self.node_id, MSG_SEND,
+                                trace=self.current_trace,
+                                name=type(effect.message).__name__,
+                                dc=self.dc_id)
+                self.cluster.route(self.addr, effect.dest, effect.message,
+                                   self.current_trace)
             elif isinstance(effect, SetTimer):
-                self._spawn(self._one_shot(effect))
+                if tracer is not None:
+                    tracer.emit(self.node_id, EFFECT,
+                                trace=self.current_trace,
+                                name=f"set-timer:{effect.tag}", dc=self.dc_id)
+                # The coroutine captures the current trace so timer-deferred
+                # work keeps its operation's trace (always None when tracing
+                # is disabled).
+                self._spawn(self._one_shot(effect, self.current_trace))
             else:
                 raise ProtocolError(
                     f"{self.node_id} cannot execute effect {effect!r}")
 
-    async def _one_shot(self, timer: SetTimer) -> None:
+    async def _one_shot(self, timer: SetTimer,
+                        trace: Optional[str] = None) -> None:
         await asyncio.sleep(timer.delay)
+        self.current_trace = trace
+        if self.tracer is not None:
+            self.kernel.current_trace = trace
         self.execute_effects(self.kernel.on_timer(
             timer.tag, timer.payload, self.cluster.clock.now))
 
@@ -161,6 +188,10 @@ class RealtimeServer(_MailboxNode):
         delay = spec.interval if spec.start_delay is None else spec.start_delay
         await asyncio.sleep(delay)
         while True:
+            # Background protocol work runs outside any operation's trace.
+            self.current_trace = None
+            if self.tracer is not None:
+                self.kernel.current_trace = None
             self.execute_effects(self.kernel.on_timer(
                 spec.tag, None, self.cluster.clock.now))
             await asyncio.sleep(spec.interval)
@@ -172,7 +203,13 @@ class RealtimeServer(_MailboxNode):
 
     async def _pump(self) -> None:
         while True:
-            sender, message = await self.mailbox.get()
+            sender, message, trace = await self.mailbox.get()
+            self.current_trace = trace
+            tracer = self.tracer
+            if tracer is not None:
+                self.kernel.current_trace = trace
+                tracer.emit(self.node_id, MSG_RECV, trace=trace,
+                            name=type(message).__name__, dc=self.dc_id)
             self.execute_effects(self.kernel.on_message(
                 sender, message, self.cluster.clock.now))
 
@@ -207,9 +244,16 @@ class RealtimeClient(_MailboxNode):
 
     # ---------------------------------------------------------------- effects
     def execute_effects(self, effects: list[Effect]) -> None:
+        tracer = self.tracer
         for effect in effects:
             if isinstance(effect, Send):
-                self.cluster.route(self.addr, effect.dest, effect.message)
+                if tracer is not None:
+                    tracer.emit(self.node_id, MSG_SEND,
+                                trace=self.current_trace,
+                                name=type(effect.message).__name__,
+                                dc=self.dc_id)
+                self.cluster.route(self.addr, effect.dest, effect.message,
+                                   self.current_trace)
             elif isinstance(effect, Complete):
                 self._finish(effect)
             else:
@@ -219,6 +263,10 @@ class RealtimeClient(_MailboxNode):
     def _finish(self, effect: Complete) -> None:
         now = self.cluster.clock.now
         result = effect.result
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(self.node_id, OP_FINISH, trace=self.current_trace,
+                        name=effect.op, dc=self.dc_id)
         if effect.op == "put":
             assert isinstance(result, PutOutcome)
             self.metrics.record_put(self._op_started_at, now)
@@ -259,6 +307,14 @@ class RealtimeClient(_MailboxNode):
                 f"{self.node_id} already has an operation in flight")
         self.sequence += 1
         self.metrics.note_issue(operation.is_put)
+        tracer = self.tracer
+        if tracer is not None:
+            trace = f"{self.node_id}#{self.sequence}"
+            self.current_trace = trace
+            self.kernel.current_trace = trace
+            tracer.emit(self.node_id, OP_START, trace=trace,
+                        name=operation.kind, dc=self.dc_id,
+                        data=(("key", operation.keys[0]),))
         self._op_started_at = self.cluster.clock.now
         self._op_future = asyncio.get_running_loop().create_future()
         self.execute_effects(self.kernel.start_operation(
@@ -281,7 +337,13 @@ class RealtimeClient(_MailboxNode):
 
     async def _pump(self) -> None:
         while True:
-            _sender, message = await self.mailbox.get()
+            _sender, message, trace = await self.mailbox.get()
+            self.current_trace = trace
+            tracer = self.tracer
+            if tracer is not None:
+                self.kernel.current_trace = trace
+                tracer.emit(self.node_id, MSG_RECV, trace=trace,
+                            name=type(message).__name__, dc=self.dc_id)
             self.execute_effects(self.kernel.on_message(
                 message, self.cluster.clock.now))
 

@@ -51,6 +51,8 @@ from repro.core.common.kernel import Addr, ClientAddr, ServerAddr
 from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError, RuntimeBackendError
 from repro.metrics.overheads import OverheadCounters
+from repro.obs.events import TraceEvent
+from repro.obs.trace import TraceAssembler
 from repro.runtime.cluster import (
     RealtimeCluster,
     client_node_id,
@@ -95,6 +97,9 @@ class WorkerSpec:
     control_host: str
     control_port: int
     enable_checker: bool
+    #: Enable the repro.obs event bus in the worker (trailing default keeps
+    #: the wire encoding decodable by peers that predate tracing).
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -167,6 +172,12 @@ class WorkerResult:
     puts: tuple[RecordedPut, ...]
     rots: tuple[RecordedRot, ...]
     overhead: OverheadCounters
+    #: Drained repro.obs trace events (empty when tracing is off) plus the
+    #: worker bus's drop counter, so the parent's assembler can tell lost
+    #: events from an idle worker.  Trailing defaults keep the frame
+    #: decodable by pre-tracing peers.
+    events: tuple[TraceEvent, ...] = ()
+    events_dropped: int = 0
 
 
 for _index, _cls in enumerate((WorkerHello, PeerEntry, PeerTable, WorkerReady,
@@ -200,6 +211,11 @@ def _collect_result(cluster: RealtimeCluster, worker_id: int) -> WorkerResult:
     rots: tuple[RecordedRot, ...] = ()
     if cluster.checker is not None:
         puts, rots = cluster.checker.recorded_history()
+    events: tuple[TraceEvent, ...] = ()
+    events_dropped = 0
+    if cluster.trace_bus is not None:
+        events = cluster.trace_bus.drain()
+        events_dropped = cluster.trace_bus.dropped
     metrics = cluster.metrics
     return WorkerResult(
         worker_id=worker_id,
@@ -209,7 +225,9 @@ def _collect_result(cluster: RealtimeCluster, worker_id: int) -> WorkerResult:
         puts_issued=metrics.puts_issued,
         puts=puts,
         rots=rots,
-        overhead=cluster.overhead())
+        overhead=cluster.overhead(),
+        events=events,
+        events_dropped=events_dropped)
 
 
 async def _worker_main(spec: WorkerSpec) -> None:
@@ -220,7 +238,8 @@ async def _worker_main(spec: WorkerSpec) -> None:
         spec.protocol, spec.config, spec.workload,
         enable_checker=spec.enable_checker and bool(role.client_ids),
         workload_clients=False, transport=transport,
-        server_ids=role.server_ids)
+        server_ids=role.server_ids,
+        trace=spec.trace, trace_source=f"worker-{role.worker_id}")
     for dc, index in role.client_ids:
         cluster.add_workload_client(dc, index)
 
@@ -316,7 +335,8 @@ class ProcessCluster:
     def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadParameters] = None, *,
                  enable_checker: bool = False,
-                 workload_clients: bool = True) -> None:
+                 workload_clients: bool = True,
+                 trace: bool = False) -> None:
         self.protocol = protocol
         self.config = config = config or ClusterConfig()
         self.workload = workload = workload or DEFAULT_WORKLOAD
@@ -332,12 +352,18 @@ class ProcessCluster:
         self.roles = default_placement(config,
                                        workload_clients=workload_clients)
         self._enable_checker = enable_checker
+        self._trace = trace
+        #: Run-wide timeline: every worker ships its drained event stream
+        #: over the control plane and the parent assembles one global view.
+        self.trace_assembler: Optional[TraceAssembler] = (
+            TraceAssembler() if trace else None)
         #: Parent-local view: no servers, optional interactive clients, one
         #: TcpTransport into the same mesh.  Its metrics/checker are the
         #: run-wide aggregation target.
         self.view = RealtimeCluster(
             protocol, config, workload, enable_checker=enable_checker,
-            workload_clients=False, transport=TcpTransport(), server_ids=())
+            workload_clients=False, transport=TcpTransport(), server_ids=(),
+            trace=trace, trace_source="parent")
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._queues: dict[int, asyncio.Queue] = {}
@@ -395,6 +421,17 @@ class ProcessCluster:
         overhead.merge(self._worker_overhead)
         overhead.merge(self.view.overhead())
         return overhead
+
+    def collect_trace(self) -> Optional[TraceAssembler]:
+        """The run-wide timeline assembler (None when tracing is off).
+
+        Folds in any not-yet-drained parent-local events first; worker
+        streams arrive via :meth:`_merge_result` as results come back.
+        """
+        assembler = self.trace_assembler
+        if assembler is not None and self.view.trace_bus is not None:
+            assembler.ingest_bus(self.view.trace_bus)
+        return assembler
 
     # ---------------------------------------------------------- control plane
     def _queue_for(self, worker_id: int) -> asyncio.Queue:
@@ -524,7 +561,8 @@ class ProcessCluster:
                 protocol=self.protocol, config=self.config,
                 workload=self.workload, role=role,
                 control_host="127.0.0.1", control_port=control_port,
-                enable_checker=self._enable_checker)
+                enable_checker=self._enable_checker,
+                trace=self._trace)
             process = context.Process(target=worker_entry, args=(spec,),
                                       daemon=True)
             process.start()
@@ -583,6 +621,11 @@ class ProcessCluster:
         self._worker_overhead.merge(result.overhead)
         if self.view.checker is not None:
             self.view.checker.record_history(result.puts, result.rots)
+        if self.trace_assembler is not None and (
+                result.events or result.events_dropped):
+            self.trace_assembler.add_events(
+                result.events, source=f"worker-{result.worker_id}",
+                dropped=result.events_dropped)
 
     async def stop(self) -> None:
         """Shut every worker down gracefully, then the parent; idempotent."""

@@ -52,11 +52,17 @@ register_wire_type(ClientAddr, type_id=_WIRE_ID_CLIENT_ADDR)
 
 @dataclass(frozen=True)
 class Envelope:
-    """One routed message on the wire: sender, destination, payload."""
+    """One routed message on the wire: sender, destination, payload.
+
+    ``trace`` carries the causal trace id of the operation the payload
+    belongs to (see :mod:`repro.obs`); it defaults to ``None`` so wire
+    version 1 frames — which predate the field — still decode.
+    """
 
     sender: Optional[Addr]
     dest: Addr
     payload: object
+    trace: Optional[str] = None
 
 
 register_wire_type(Envelope, type_id=_WIRE_ID_ENVELOPE)
@@ -90,7 +96,7 @@ class Transport(ABC):
         self.failure: Optional[BaseException] = None
 
     def register_local(self, addr: Addr, node) -> None:
-        """Attach a node (anything with ``deliver(sender, message)``)."""
+        """Attach a node (anything with ``deliver(sender, message, trace)``)."""
         self._local[addr] = node
 
     def local_addrs(self) -> tuple[Addr, ...]:
@@ -98,8 +104,13 @@ class Transport(ABC):
         return tuple(self._local)
 
     @abstractmethod
-    def send(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
-        """Deliver ``message`` to ``dest`` (synchronous, non-blocking)."""
+    def send(self, sender: Optional[Addr], dest: Addr, message: object,
+             trace: Optional[str] = None) -> None:
+        """Deliver ``message`` to ``dest`` (synchronous, non-blocking).
+
+        ``trace`` is opaque observability metadata carried alongside the
+        message; transports must deliver it unchanged (or ``None``).
+        """
 
     async def start(self) -> None:
         """Bring up any I/O resources; idempotent."""
@@ -111,11 +122,12 @@ class Transport(ABC):
 class InprocTransport(Transport):
     """All nodes share one event loop; delivery is a mailbox enqueue."""
 
-    def send(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
+    def send(self, sender: Optional[Addr], dest: Addr, message: object,
+             trace: Optional[str] = None) -> None:
         node = self._local.get(dest)
         if node is None:
             raise _unroutable(dest)
-        node.deliver(sender, message)
+        node.deliver(sender, message, trace)
 
 
 class _PeerLink:
@@ -237,10 +249,11 @@ class TcpTransport(Transport):
             if addr not in self._local:
                 self._endpoints[addr] = endpoint
 
-    def send(self, sender: Optional[Addr], dest: Addr, message: object) -> None:
+    def send(self, sender: Optional[Addr], dest: Addr, message: object,
+             trace: Optional[str] = None) -> None:
         node = self._local.get(dest)
         if node is not None:
-            node.deliver(sender, message)
+            node.deliver(sender, message, trace)
             return
         endpoint = self._endpoints.get(dest)
         if endpoint is None:
@@ -256,7 +269,7 @@ class TcpTransport(Transport):
                 f"({self.failure or 'drain task exited'})")
         if link is None:
             link = self._links[endpoint] = _PeerLink(self, endpoint)
-        link.enqueue(frame(encode(Envelope(sender, dest, message))))
+        link.enqueue(frame(encode(Envelope(sender, dest, message, trace))))
 
     # ---------------------------------------------------------------- inbound
     async def _on_connection(self, reader: asyncio.StreamReader,
@@ -280,7 +293,8 @@ class TcpTransport(Transport):
                     raise TransportError(
                         f"received a message for {envelope.dest!r}, which "
                         f"is not attached to this transport")
-                node.deliver(envelope.sender, envelope.payload)
+                node.deliver(envelope.sender, envelope.payload,
+                             envelope.trace)
         except asyncio.CancelledError:
             # Cancelled only by stop(); swallowing (rather than re-raising)
             # keeps asyncio.streams' internal done-callback from logging a

@@ -105,11 +105,11 @@ class _DeliveryBatch:
     __slots__ = ("time", "sender", "destination", "messages", "closed")
 
     def __init__(self, time: float, sender: "Node", destination: "Node",
-                 message: object) -> None:
+                 message: object, trace: Optional[str]) -> None:
         self.time = time
         self.sender = sender
         self.destination = destination
-        self.messages = [message]
+        self.messages = [(message, trace)]
         self.closed = False
 
     def deliver(self) -> None:
@@ -120,8 +120,8 @@ class _DeliveryBatch:
         destination = self.destination
         sender = self.sender
         messages, self.messages = self.messages, []
-        for message in messages:
-            destination.enqueue_message(sender, message)
+        for message, trace in messages:
+            destination.enqueue_message(sender, message, trace)
 
 
 class LinkFault:
@@ -187,7 +187,8 @@ class Network:
         self._jitter_us = self.latency.jitter_us
         # Fault-injection state: empty (and RNG-free) on the healthy path.
         self._link_faults: dict[tuple[int, int], LinkFault] = {}
-        self._held: dict[tuple[int, int], list[tuple["Node", "Node", object]]] = {}
+        self._held: dict[tuple[int, int],
+                         list[tuple["Node", "Node", object, Optional[str]]]] = {}
         self._fault_rng: Optional["random.Random"] = None
         self.messages_dropped = 0
 
@@ -206,19 +207,25 @@ class Network:
         size = self._message_size(message)
         same_dc = sender.dc_id == destination.dc_id
         self.stats.record(size, same_dc)
+        # The message inherits the trace of whatever the sender is currently
+        # serving (pure metadata: no RNG draws, no ordering changes, always
+        # None with tracing disabled).
+        trace = sender.current_trace
         if self._link_faults:
             fault = self._link_faults.get((sender.dc_id, destination.dc_id))
             if fault is not None:
-                self._send_faulted(sender, destination, message, size, fault)
+                self._send_faulted(sender, destination, message, size, fault,
+                                   trace)
                 return
         # Inlined LatencyModel.one_way_delay (identical arithmetic).
         base = self._intra_us if same_dc else self._inter_us
         delay = microseconds(base + size / self._bandwidth
                              + self._jitter_us * self._rng.random())
-        self._schedule_arrival(sender, destination, message, delay)
+        self._schedule_arrival(sender, destination, message, delay, trace)
 
     def _schedule_arrival(self, sender: "Node", destination: "Node",
-                          message: object, delay: float) -> None:
+                          message: object, delay: float,
+                          trace: Optional[str] = None) -> None:
         """Clamp to per-channel FIFO order and schedule the delivery event."""
         channel = (sender.node_id, destination.node_id)
         arrival = max(self.sim.now + delay, self._last_delivery.get(channel, 0.0))
@@ -227,20 +234,21 @@ class Network:
         if batch is not None and not batch.closed and batch.time == arrival:
             # The channel is backlogged and this message lands on the same
             # tick as the previous one: piggyback on its delivery event.
-            batch.messages.append(message)
+            batch.messages.append((message, trace))
             return
-        batch = _DeliveryBatch(arrival, sender, destination, message)
+        batch = _DeliveryBatch(arrival, sender, destination, message, trace)
         self._open_batches[channel] = batch
         self.sim.call_at(arrival, batch.deliver,
                          label=f"deliver:{type(message).__name__}")
 
     # ------------------------------------------------------------ fault hooks
     def _send_faulted(self, sender: "Node", destination: "Node",
-                      message: object, size: int, fault: LinkFault) -> None:
+                      message: object, size: int, fault: LinkFault,
+                      trace: Optional[str] = None) -> None:
         """Degraded send path: hold, delay, or "drop" (delay by redelivery)."""
         if fault.blocked:
             self._held.setdefault((sender.dc_id, destination.dc_id), []).append(
-                (sender, destination, message))
+                (sender, destination, message, trace))
             return
         same_dc = sender.dc_id == destination.dc_id
         base = (self._intra_us if same_dc else self._inter_us) \
@@ -261,7 +269,7 @@ class Network:
                 self.messages_dropped += retries
                 delay_us += retries * fault.redelivery_timeout_us
         self._schedule_arrival(sender, destination, message,
-                               microseconds(delay_us))
+                               microseconds(delay_us), trace)
 
     def set_link_fault(self, src_dc: int, dst_dc: int, **degradation: float) -> None:
         """Install (or replace) the degradation state of one directed link.
@@ -301,12 +309,13 @@ class Network:
         fault = self._link_faults.pop((src_dc, dst_dc), None)
         if fault is None:
             return
-        for sender, destination, message in self._held.pop((src_dc, dst_dc), []):
+        for sender, destination, message, trace in self._held.pop(
+                (src_dc, dst_dc), []):
             # Re-entering ``send`` would double-count stats; schedule with the
             # healthy delay directly (FIFO order is preserved by the clamp).
             delay = self._healthy_delay(sender.dc_id == destination.dc_id,
                                         self._message_size(message))
-            self._schedule_arrival(sender, destination, message, delay)
+            self._schedule_arrival(sender, destination, message, delay, trace)
 
     def clear_link_faults(self) -> None:
         """Remove every link fault, flushing all held messages (heal)."""
@@ -325,7 +334,7 @@ class Network:
         ROT it is coordinating: the "message" never hits the wire but still
         costs CPU time to process.
         """
-        node.enqueue_message(node, message)
+        node.enqueue_message(node, message, node.current_trace)
 
     @staticmethod
     def _message_size(message: object) -> int:

@@ -60,18 +60,24 @@ class Node:
         self.dc_id = dc_id
         self.threads = threads
         self.stats = ProcessingStats()
-        self._queue: Deque[Tuple[object, object, float]] = deque()
+        self._queue: Deque[Tuple[object, object, Optional[str], float]] = deque()
         self._busy = False
-        self._serving: Optional[Tuple[object, object]] = None
+        self._serving: Optional[Tuple[object, object, Optional[str]]] = None
+        #: Trace id of the message currently being served (observability
+        #: metadata, see :mod:`repro.obs`); the network reads it at send
+        #: time so outgoing messages inherit the trace of their cause.
+        #: Always ``None`` when tracing is disabled.
+        self.current_trace: Optional[str] = None
         # Fault-injection state (see repro.faults): a service-time multiplier
         # models a slow node, a paused node queues messages without serving.
         self._service_factor = 1.0
         self._paused = False
 
     # ------------------------------------------------------------------ queue
-    def enqueue_message(self, sender: "Node", message: object) -> None:
+    def enqueue_message(self, sender: "Node", message: object,
+                        trace: Optional[str] = None) -> None:
         """Called by the network when a message arrives at this node."""
-        self._queue.append((sender, message, self.sim.now))
+        self._queue.append((sender, message, trace, self.sim.now))
         self.stats.max_queue_length = max(self.stats.max_queue_length,
                                           len(self._queue))
         if not self._busy and not self._paused:
@@ -82,7 +88,7 @@ class Node:
             self._busy = False
             return
         self._busy = True
-        sender, message, enqueued_at = self._queue.popleft()
+        sender, message, trace, enqueued_at = self._queue.popleft()
         stats = self.stats
         stats.total_queue_wait += self.sim.now - enqueued_at
         service = self.service_time(message) / self.threads
@@ -90,15 +96,16 @@ class Node:
             service *= self._service_factor
         stats.busy_time += service
         # One message is in service at a time (the busy flag serialises the
-        # CPU), so the in-flight pair can live on the node instead of in a
+        # CPU), so the in-flight triple can live on the node instead of in a
         # per-message closure — this loop runs once per simulated message.
-        self._serving = (sender, message)
+        self._serving = (sender, message, trace)
         self.sim.schedule(service, self._complete_serving,
                           label=type(message).__name__)
 
     def _complete_serving(self) -> None:
-        sender, message = self._serving  # type: ignore[misc]
+        sender, message, trace = self._serving  # type: ignore[misc]
         self._serving = None
+        self.current_trace = trace
         self.stats.messages_processed += 1
         self.handle_message(sender, message)
         self._serve_next()

@@ -20,6 +20,7 @@ _EXPORTS = {
     "FrameDecoder": "repro.wire.framing",
     "LENGTH_BYTES": "repro.wire.framing",
     "MAX_FRAME_BYTES": "repro.wire.framing",
+    "SUPPORTED_WIRE_VERSIONS": "repro.wire.codec",
     "WIRE_VERSION": "repro.wire.codec",
     "decode": "repro.wire.codec",
     "encode": "repro.wire.codec",

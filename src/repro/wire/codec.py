@@ -46,8 +46,13 @@ from repro.errors import WireFormatError
 
 #: First byte of every frame.
 MAGIC = 0xA7
-#: Current wire version; bumped on incompatible payload-layout changes.
-WIRE_VERSION = 1
+#: Current wire version; bumped on payload-layout changes.  Version 2 added
+#: trailing optional struct fields (Envelope trace ids, worker trace-event
+#: shipping); version-1 frames remain decodable because missing trailing
+#: fields fall back to their dataclass defaults.
+WIRE_VERSION = 2
+#: Every version this codec can decode.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 #: Format tags (third header byte).
 FORMAT_BINARY = 0x01
 FORMAT_JSON = 0x02
@@ -325,15 +330,19 @@ def _decode_value(reader: _Reader) -> Any:
             raise WireFormatError(
                 f"struct {cls.__name__} payload is not a field array")
         names = _FIELDS[cls]
-        if len(values) != len(names):
+        if len(values) > len(names):
             raise WireFormatError(
                 f"struct {cls.__name__} carries {len(values)} fields, "
-                f"expected {len(names)}")
+                f"expected at most {len(names)}")
+        # Fewer values than fields is tolerated when the class declares
+        # defaults for the missing trailing fields — that is how frames from
+        # older wire versions decode after a field was appended.
         try:
             return cls(*values)
         except (TypeError, ValueError) as exc:
             raise WireFormatError(
-                f"cannot reconstruct {cls.__name__}: {exc}") from exc
+                f"cannot reconstruct {cls.__name__} from {len(values)} "
+                f"of its {len(names)} fields: {exc}") from exc
     raise WireFormatError(f"unknown binary tag 0x{tag:02X}")
 
 
@@ -379,12 +388,16 @@ def _dejsonify(value: Any) -> Any:
                     f"unknown wire type name {value['__wire__']!r}")
             fields = value.get("fields", {})
             names = _FIELDS[cls]
-            if set(fields) != set(names):
+            unknown = set(fields) - set(names)
+            if unknown:
                 raise WireFormatError(
                     f"struct {cls.__name__} field mismatch: "
                     f"{sorted(fields)} != {sorted(names)}")
+            # Absent fields (older wire versions) fall back to dataclass
+            # defaults, mirroring the binary decoder's trailing-field rule.
             try:
-                return cls(*(_dejsonify(fields[name]) for name in names))
+                return cls(**{name: _dejsonify(fields[name])
+                              for name in names if name in fields})
             except (TypeError, ValueError) as exc:
                 raise WireFormatError(
                     f"cannot reconstruct {cls.__name__}: {exc}") from exc
@@ -426,10 +439,10 @@ def decode(data: bytes) -> Any:
     if data[0] != MAGIC:
         raise WireFormatError(
             f"bad frame magic 0x{data[0]:02X} (expected 0x{MAGIC:02X})")
-    if data[1] != WIRE_VERSION:
+    if data[1] not in SUPPORTED_WIRE_VERSIONS:
         raise WireFormatError(
             f"unsupported wire version {data[1]} (this codec speaks "
-            f"version {WIRE_VERSION})")
+            f"versions {SUPPORTED_WIRE_VERSIONS})")
     format_tag = data[2]
     if format_tag == FORMAT_BINARY:
         reader = _Reader(data, 3)
@@ -453,6 +466,7 @@ __all__ = [
     "FORMAT_BINARY",
     "FORMAT_JSON",
     "MAGIC",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
     "decode",
     "encode",

@@ -25,10 +25,12 @@ class _SinkNode:
 
     def __init__(self) -> None:
         self.received: list[tuple[object, object]] = []
+        self.traces: list[object] = []
         self.event = asyncio.Event()
 
-    def deliver(self, sender, message) -> None:
+    def deliver(self, sender, message, trace=None) -> None:
         self.received.append((sender, message))
+        self.traces.append(trace)
         self.event.set()
 
 
