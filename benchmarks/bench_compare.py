@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Diff a fresh saturation report against the committed baseline.
+
+CI regenerates ``BENCH_saturation.json`` on every push and runs::
+
+    python benchmarks/bench_compare.py \
+        --baseline benchmarks/results/BENCH_saturation.json \
+        --current BENCH_saturation.json
+
+The comparison **fails** (exit 1) when any protocol's batched firehose
+throughput regresses more than ``--tolerance`` (default 25%) below the
+committed baseline, or when the best batching speedup drops under
+``--min-speedup`` (default 2x, the acceptance gate of the batched hot
+path).  Improvements are reported but never fail; after an intentional
+performance change, regenerate the baseline and commit it alongside the
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Allowed slowdown vs baseline before the comparison fails (fraction).
+DEFAULT_TOLERANCE = 0.25
+#: The batched replication path must keep at least this speedup on one
+#: protocol (the bar the batching work was merged against).
+DEFAULT_MIN_SPEEDUP = 2.0
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline: dict, current: dict, tolerance: float,
+            min_speedup: float) -> list[str]:
+    """Return the list of failures (empty = comparison passed)."""
+    failures: list[str] = []
+    base_fire = baseline.get("firehose", {})
+    cur_fire = current.get("firehose", {})
+    for protocol, base_row in sorted(base_fire.items()):
+        cur_row = cur_fire.get(protocol)
+        if cur_row is None:
+            failures.append(f"{protocol}: missing from the current report")
+            continue
+        for metric in ("batched_ops_s", "unbatched_ops_s"):
+            base_value = base_row[metric]
+            cur_value = cur_row[metric]
+            change = (cur_value - base_value) / base_value
+            verdict = "ok"
+            if change < -tolerance:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{protocol} {metric}: {cur_value:,.0f} is "
+                    f"{-change * 100:.1f}% below the baseline "
+                    f"{base_value:,.0f} (tolerance {tolerance * 100:.0f}%)")
+            print(f"  {protocol:<12} {metric:<16} "
+                  f"{base_value:>12,.0f} -> {cur_value:>12,.0f} "
+                  f"({change * +100:+.1f}%) {verdict}")
+    if cur_fire:
+        best = max(row["speedup"] for row in cur_fire.values())
+        print(f"  best batching speedup: {best:.2f}x "
+              f"(required: {min_speedup:.1f}x)")
+        if best < min_speedup:
+            failures.append(
+                f"best batching speedup {best:.2f}x is below the "
+                f"{min_speedup:.1f}x bar")
+    else:
+        failures.append("current report has no firehose stage")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown before failing "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="required best batched/unbatched speedup "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    print(f"comparing {args.current} against baseline {args.baseline}:")
+    failures = compare(load(args.baseline), load(args.current),
+                       args.tolerance, args.min_speedup)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

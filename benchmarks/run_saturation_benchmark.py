@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""CI saturation benchmark: peak replication throughput over TCP, batched
+vs unbatched, as JSON.
+
+Two stages per protocol:
+
+**Firehose** — peak sustained replication rate.  A sender
+:class:`~repro.runtime.transport.TcpTransport` blasts pre-built replicated
+updates over loopback TCP at a receiver transport hosting a *real* server
+kernel (every message runs the full wire decode + kernel apply path; kernel
+side effects are discarded).  The stage runs once unbatched and once with
+the default :class:`~repro.wire.batch.FlushPolicy`; the ratio of sustained
+applies/s is the batching speedup the coalesced/columnar hot path buys.
+
+**Closed loop** — end-to-end validation at saturation settings.  One short
+multi-process run per mode (``run_realtime_experiment`` over TCP) with the
+causal-consistency checker and tracing attached: latency percentiles and
+the update-visibility lag come from the measured run, and the stage *fails*
+(exit 1) on any checker violation or on trace sequence gaps — batching must
+not reorder causally related messages or lose observability events.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_saturation_benchmark.py \
+        [--output BENCH_saturation.json] [--messages N] \
+        [--protocols cure cc-lo] [--skip-closed-loop]
+
+CI runs this on every push and diffs the committed baseline in
+``benchmarks/results/BENCH_saturation.json`` with ``bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.clocks.timesource import WallClock
+from repro.cluster.config import ClusterConfig
+from repro.cluster.partitioning import HashPartitioner
+from repro.core.common.kernel import ServerAddr
+from repro.core.common.messages import CcloReplicateUpdate, ReplicateUpdate
+from repro.core.registry import resolve_spec, transport_protocols
+from repro.runtime.experiment import run_realtime_experiment
+from repro.runtime.transport import TcpTransport
+from repro.wire.batch import DEFAULT_FLUSH_POLICY, FlushPolicy
+from repro.wire.intern import clear_interned
+
+#: Replicated updates per firehose measurement.
+DEFAULT_MESSAGES = 40_000
+#: Distinct keys the firehose cycles through (exercises interning).
+FIREHOSE_KEYS = 128
+#: Wall-clock duration of one closed-loop validation run (seconds).
+CLOSED_LOOP_SECONDS = 0.8
+#: Upper bound on one firehose drain (a stall means a wedged transport).
+FIREHOSE_TIMEOUT_SECONDS = 120.0
+
+
+def _firehose_config() -> ClusterConfig:
+    return ClusterConfig.test_scale(num_dcs=2)
+
+
+def build_updates(protocol: str, count: int,
+                  num_dcs: int) -> list[object]:
+    """Pre-build ``count`` valid replicated updates originating in DC 0."""
+    updates: list[object] = []
+    if protocol == "cc-lo":
+        for index in range(count):
+            updates.append(CcloReplicateUpdate(
+                key=f"key-{index % FIREHOSE_KEYS:04d}",
+                timestamp=index + 1, origin_dc=0, value_size=64,
+                dependencies=(), writer=f"c-{index % 8}",
+                sequence=index, old_readers=()))
+    else:
+        for index in range(count):
+            vector = [0] * num_dcs
+            vector[0] = index + 1
+            updates.append(ReplicateUpdate(
+                key=f"key-{index % FIREHOSE_KEYS:04d}",
+                timestamp=index + 1, origin_dc=0, value_size=64,
+                dependency_vector=tuple(vector), dependencies=(),
+                writer=f"c-{index % 8}", sequence=index))
+    return updates
+
+
+class _ApplyNode:
+    """Receiver node: full kernel apply per message, effects discarded."""
+
+    def __init__(self, kernel, clock: WallClock) -> None:
+        self.kernel = kernel
+        self.clock = clock
+        self.applied = 0
+
+    def deliver(self, sender, message, trace=None) -> None:
+        self.kernel.on_message(sender, message, self.clock.now)
+        self.applied += 1
+
+
+async def _firehose(protocol: str, policy: FlushPolicy | None,
+                    messages: int) -> float:
+    """Sustained replication applies/s for one protocol and batch mode."""
+    config = _firehose_config()
+    spec = resolve_spec(protocol)
+    clock = WallClock()
+    kernel = spec.kernel.from_config(
+        config, 1, 0, partitioner=HashPartitioner(config.num_partitions),
+        time_source=clock)
+    node = _ApplyNode(kernel, clock)
+    updates = build_updates(protocol, messages, config.num_dcs)
+
+    recv = TcpTransport()
+    send = TcpTransport(batch=policy)
+    await recv.start()
+    await send.start()
+    dest, source = ServerAddr(1, 0), ServerAddr(0, 0)
+    recv.register_local(dest, node)
+    send.set_peers({dest: ("127.0.0.1", recv.port)})
+    clear_interned()
+
+    # Yield to the loop every chunk so the drain task and the receiver
+    # stream concurrently with the producer instead of after it.
+    chunk = policy.max_messages if policy is not None else 64
+    started = time.perf_counter()
+    for index, update in enumerate(updates):
+        send.send(source, dest, update)
+        if index % chunk == chunk - 1:
+            await asyncio.sleep(0)
+    await send.stop()  # flushes any pending batch, drains the queue
+    deadline = time.perf_counter() + FIREHOSE_TIMEOUT_SECONDS
+    while node.applied < messages:
+        if time.perf_counter() > deadline:
+            raise RuntimeError(
+                f"firehose wedged: {node.applied}/{messages} applies "
+                f"after {FIREHOSE_TIMEOUT_SECONDS}s")
+        await asyncio.sleep(0.002)
+    elapsed = time.perf_counter() - started
+    await recv.stop()
+    for transport in (send, recv):
+        if transport.failure is not None:
+            raise transport.failure
+    return messages / elapsed
+
+
+def run_firehose_stage(protocols: list[str],
+                       messages: int) -> dict[str, dict[str, float]]:
+    stage: dict[str, dict[str, float]] = {}
+    for protocol in protocols:
+        unbatched = asyncio.run(_firehose(protocol, None, messages))
+        batched = asyncio.run(_firehose(protocol, DEFAULT_FLUSH_POLICY,
+                                        messages))
+        stage[protocol] = {
+            "messages": messages,
+            "unbatched_ops_s": round(unbatched, 1),
+            "batched_ops_s": round(batched, 1),
+            "speedup": round(batched / unbatched, 3),
+        }
+        print(f"  {protocol:<12} firehose: "
+              f"{unbatched:,.0f} -> {batched:,.0f} applies/s "
+              f"({batched / unbatched:.2f}x)")
+    return stage
+
+
+def run_closed_loop_stage(protocols: list[str]) -> tuple[dict, int, int]:
+    """Validated TCP runs per protocol and mode; returns (stage, violations,
+    gaps) so the caller can fail the benchmark on either."""
+    stage: dict[str, dict[str, dict[str, object]]] = {}
+    total_violations = 0
+    total_gaps = 0
+    config = ClusterConfig.test_scale(num_dcs=2)
+    for protocol in protocols:
+        rows: dict[str, dict[str, object]] = {}
+        for mode, batch in (("unbatched", None), ("batched", True)):
+            outcome = run_realtime_experiment(
+                protocol, config, duration_seconds=CLOSED_LOOP_SECONDS,
+                transport="tcp", batch=batch, enable_checker=True,
+                trace=True, label=f"saturation-{mode}")
+            report = outcome.checker_report
+            violations = (len(report.snapshot_violations)
+                          + len(report.session_violations))
+            gaps = outcome.trace.total_dropped()
+            total_violations += violations
+            total_gaps += gaps
+            result = outcome.result
+            rows[mode] = {
+                "throughput_kops": result.throughput_kops,
+                "rot_p50_ms": result.rot_latency.p50_ms,
+                "rot_p99_ms": result.rot_latency.p99_ms,
+                "put_p50_ms": result.put_latency.p50_ms,
+                "put_p99_ms": result.put_latency.p99_ms,
+                "visibility_p50_ms": result.visibility_trace.p50_ms,
+                "visibility_p99_ms": result.visibility_trace.p99_ms,
+                "checker_violations": violations,
+                "trace_sequence_gaps": gaps,
+            }
+            print(f"  {protocol:<12} closed-loop[{mode}]: "
+                  f"{result.throughput_kops:.2f} Kops/s, "
+                  f"rot p99 {result.rot_latency.p99_ms:.2f} ms, "
+                  f"violations {violations}, gaps {gaps}")
+        stage[protocol] = rows
+    return stage, total_violations, total_gaps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_saturation.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--messages", type=int, default=DEFAULT_MESSAGES,
+                        help="replicated updates per firehose measurement "
+                             "(default: %(default)s)")
+    parser.add_argument("--protocols", nargs="+", default=None,
+                        metavar="PROTOCOL", choices=transport_protocols("tcp"),
+                        help="protocols to measure (default: every "
+                             "TCP-capable protocol)")
+    parser.add_argument("--skip-closed-loop", action="store_true",
+                        help="firehose stage only (no process clusters)")
+    args = parser.parse_args(argv)
+    protocols = list(args.protocols or transport_protocols("tcp"))
+
+    output_dir = os.path.dirname(os.path.abspath(args.output))
+    os.makedirs(output_dir, exist_ok=True)
+
+    started = time.perf_counter()
+    print("firehose stage:")
+    firehose = run_firehose_stage(protocols, args.messages)
+    closed_loop: dict = {}
+    violations = gaps = 0
+    if not args.skip_closed_loop:
+        print("closed-loop stage:")
+        closed_loop, violations, gaps = run_closed_loop_stage(protocols)
+    wall_clock = time.perf_counter() - started
+
+    report = {
+        "benchmark": "saturation",
+        "flush_policy": {
+            "max_messages": DEFAULT_FLUSH_POLICY.max_messages,
+            "max_bytes": DEFAULT_FLUSH_POLICY.max_bytes,
+        },
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "wall_clock_seconds": round(wall_clock, 3),
+        "firehose": firehose,
+        "closed_loop": closed_loop,
+        "checker_violations": violations,
+        "trace_sequence_gaps": gaps,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    best = max(row["speedup"] for row in firehose.values())
+    print(f"saturation benchmark: {len(protocols)} protocols in "
+          f"{wall_clock:.1f}s, best batching speedup {best:.2f}x "
+          f"-> {args.output}")
+    if violations:
+        print(f"ERROR: {violations} causal-consistency violations",
+              file=sys.stderr)
+        return 1
+    if gaps:
+        print(f"ERROR: {gaps} trace events lost (sequence gaps)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

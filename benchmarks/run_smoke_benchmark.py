@@ -11,8 +11,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
         [--output BENCH_smoke.json] [--workers N] [--backend sim|realtime] \
-        [--transport inproc|tcp] [--emit-trace TRACE_smoke.json] \
+        [--transport inproc|tcp] [--batch|--no-batch] \
+        [--emit-trace TRACE_smoke.json] \
         [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
+
+``--batch`` (realtime backend only) turns on transport send coalescing
+with the default flush policy; the chosen mode is recorded in the JSON
+report's ``batch`` field so artifact consumers can tell the two hot paths
+apart.
 
 ``--emit-trace PATH`` additionally runs one 2-DC point per protocol twice —
 tracing off, then tracing on — writes the merged Perfetto/Chrome timeline of
@@ -81,7 +87,8 @@ def run_smoke(workers: int | None = None,
               clients: list[int] | None = None,
               scenario_name: str = "none",
               backend: str = "sim",
-              transport: str = "inproc") -> dict[str, object]:
+              transport: str = "inproc",
+              batch: bool = False) -> dict[str, object]:
     """Run the smoke grid and return the JSON-ready report."""
     protocols = list(protocols or implemented_protocols())
     clients = list(clients or SMOKE_SWEEP)
@@ -92,6 +99,8 @@ def run_smoke(workers: int | None = None,
     if transport != "inproc" and backend != "realtime":
         raise ConfigurationError(
             f"transport {transport!r} requires the realtime backend")
+    if batch and backend != "realtime":
+        raise ConfigurationError("--batch requires the realtime backend")
     config = smoke_config(scenario_name)
     started = time.perf_counter()
     if backend == "realtime":
@@ -100,6 +109,7 @@ def run_smoke(workers: int | None = None,
                       config.with_changes(clients_per_dc=count),
                       duration_seconds=REALTIME_POINT_SECONDS,
                       transport=transport,
+                      batch=batch,
                       check_consistency=True,
                       label=f"smoke-realtime[{transport}]").result
                   for count in clients]
@@ -113,6 +123,7 @@ def run_smoke(workers: int | None = None,
         "benchmark": "smoke",
         "backend": backend,
         "transport": transport if backend == "realtime" else "n/a",
+        "batch": batch if backend == "realtime" else False,
         "client_counts": clients,
         "scenario": scenario_name if not scenario.is_empty else "none",
         "workers": 1 if backend == "realtime" else resolve_worker_count(workers),
@@ -224,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
                              "in-process or from one OS process per "
                              "partition server over TCP "
                              "(default: %(default)s)")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="realtime backend only: coalesce transport "
+                             "sends with the default flush policy "
+                             "(recorded in the JSON report; "
+                             "default: --no-batch)")
     parser.add_argument("--emit-trace", default=None, metavar="PATH",
                         help="also run a traced 2-DC point per protocol, "
                              "write the merged Perfetto timeline to PATH "
@@ -237,13 +254,16 @@ def main(argv: list[str] | None = None) -> int:
                      "(the realtime sweep runs points sequentially)")
     if args.transport != "inproc" and args.backend != "realtime":
         parser.error("--transport tcp requires --backend realtime")
+    if args.batch and args.backend != "realtime":
+        parser.error("--batch requires --backend realtime")
 
     # Fail on an unwritable destination *before* spending minutes simulating.
     output_dir = os.path.dirname(os.path.abspath(args.output))
     os.makedirs(output_dir, exist_ok=True)
 
     report = run_smoke(args.workers, args.protocols, args.clients,
-                       args.scenario, args.backend, args.transport)
+                       args.scenario, args.backend, args.transport,
+                       args.batch)
     if args.emit_trace:
         trace_dir = os.path.dirname(os.path.abspath(args.emit_trace))
         os.makedirs(trace_dir, exist_ok=True)

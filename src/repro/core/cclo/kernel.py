@@ -45,6 +45,7 @@ from repro.errors import ProtocolError
 from repro.obs.events import REPLICATE_APPLY, VISIBLE
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.version import Version
+from repro.wire.intern import intern_key
 
 PROTOCOL_NAME = "cc-lo"
 
@@ -207,7 +208,10 @@ class CcloKernel(ServerKernel):
     # ------------------------------------------------------------------- PUT
     def _handle_put(self, sender: Addr, message: CcloPutRequest) -> None:
         timestamp = self.clock.tick()
-        version = Version(key=message.key, value=None, timestamp=timestamp,
+        # Interned: wire decoding hands every put of a hot key a fresh str;
+        # sharing one object keeps store indexes and reader tables aliased.
+        version = Version(key=intern_key(message.key), value=None,
+                          timestamp=timestamp,
                           origin_dc=self.dc_id, size_bytes=message.value_size,
                           dependencies=tuple((key, ts) for key, ts, _ in
                                              message.dependencies),
@@ -400,7 +404,8 @@ class CcloKernel(ServerKernel):
 
     def _handle_replicated_update(self, message: CcloReplicateUpdate) -> None:
         self.clock.update(message.timestamp)
-        version = Version(key=message.key, value=None, timestamp=message.timestamp,
+        version = Version(key=intern_key(message.key), value=None,
+                          timestamp=message.timestamp,
                           origin_dc=message.origin_dc, size_bytes=message.value_size,
                           dependencies=tuple((key, ts) for key, ts, _ in
                                              message.dependencies),

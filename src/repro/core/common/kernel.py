@@ -33,7 +33,7 @@ messages, assert the emitted effects (see ``tests/test_kernels.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
 from repro.errors import ProtocolError

@@ -52,6 +52,7 @@ from repro.errors import ProtocolError
 from repro.obs.events import GSS_ADVANCE, REPLICATE_APPLY, VISIBLE
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.version import Version
+from repro.wire.intern import intern_key
 
 
 class VectorServerKernel(ServerKernel):
@@ -219,7 +220,12 @@ class VectorServerKernel(ServerKernel):
         dependency_vector = list(entrywise_max(message.client_vector,
                                                self._gss_with_local_zero()))
         dependency_vector[local] = timestamp
-        version = Version(key=message.key, value=None, timestamp=timestamp,
+        # Interning collapses the per-message key copies that arrive off the
+        # wire (every put of a hot key decodes a fresh str) into one shared
+        # object, so store indexes and dependency lists alias rather than
+        # duplicate.
+        version = Version(key=intern_key(message.key), value=None,
+                          timestamp=timestamp,
                           origin_dc=local, size_bytes=message.value_size,
                           dependency_vector=tuple(dependency_vector),
                           dependencies=message.dependencies,
@@ -250,7 +256,8 @@ class VectorServerKernel(ServerKernel):
     def _handle_replicated_update(self, message: ReplicateUpdate) -> None:
         self.clock.observe(message.timestamp)
         self._observe_remote_timestamp(message.origin_dc, message.timestamp)
-        version = Version(key=message.key, value=None, timestamp=message.timestamp,
+        version = Version(key=intern_key(message.key), value=None,
+                          timestamp=message.timestamp,
                           origin_dc=message.origin_dc, size_bytes=message.value_size,
                           dependency_vector=message.dependency_vector,
                           dependencies=message.dependencies,

@@ -24,7 +24,7 @@ metric slices of :class:`~repro.metrics.collectors.RunResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError

@@ -46,13 +46,21 @@ OP_FINISH = "op_finish"
 EFFECT = "effect"
 MSG_SEND = "msg_send"
 MSG_RECV = "msg_recv"
+BATCH_FLUSH = "batch_flush"
+BATCH_RECV = "batch_recv"
 REPLICATE_APPLY = "replicate_apply"
 GSS_ADVANCE = "gss_advance"
 VISIBLE = "visible"
 
-#: Every event kind the bus emits, in rough lifecycle order.
+#: Every event kind the bus emits, in rough lifecycle order.  The batch
+#: kinds are transport-level: a batching transport emits one ``batch_flush``
+#: per coalesced frame it writes and one ``batch_recv`` per frame it fans
+#: back out (``data`` carries the envelope count), while the per-message
+#: ``msg_send``/``msg_recv`` events keep being emitted by the nodes
+#: themselves — so traces stay gap-free whether or not batching is on.
 EVENT_KINDS = (OP_START, OP_FINISH, EFFECT, MSG_SEND, MSG_RECV,
-               REPLICATE_APPLY, GSS_ADVANCE, VISIBLE)
+               BATCH_FLUSH, BATCH_RECV, REPLICATE_APPLY, GSS_ADVANCE,
+               VISIBLE)
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,8 @@ class TraceEvent:
 register_wire_type(TraceEvent, type_id=TRACE_EVENT_TYPE_ID)
 
 __all__ = [
+    "BATCH_FLUSH",
+    "BATCH_RECV",
     "EFFECT",
     "EVENT_KINDS",
     "GSS_ADVANCE",

@@ -28,7 +28,7 @@ from repro.clocks.timesource import WallClock
 from repro.cluster.config import ClusterConfig
 from repro.cluster.partitioning import HashPartitioner
 from repro.cluster.seeding import node_rng, preload_initial_keyspace
-from repro.core.common.kernel import Addr, ClientAddr, ServerAddr
+from repro.core.common.kernel import Addr
 from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError, RuntimeBackendError
 from repro.metrics.collectors import MetricsRegistry
@@ -36,7 +36,7 @@ from repro.metrics.overheads import OverheadCounters
 from repro.obs.bus import EventBus
 from repro.obs.trace import TraceAssembler
 from repro.runtime.nodes import RealtimeClient, RealtimeServer
-from repro.runtime.transport import InprocTransport, Transport
+from repro.runtime.transport import BatchOption, InprocTransport, Transport
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
@@ -70,6 +70,10 @@ class RealtimeCluster:
     transport:
         Message delivery between nodes; defaults to a fresh
         :class:`~repro.runtime.transport.InprocTransport`.
+    batch:
+        Flush policy for the default transport (``True`` for the default
+        :class:`~repro.wire.batch.FlushPolicy`); mutually exclusive with an
+        explicit ``transport``, which carries its own policy.
     server_ids:
         The (DC, partition) pairs instantiated *locally*; ``None`` (default)
         means the full topology.  Worker processes pass their slice and rely
@@ -85,6 +89,7 @@ class RealtimeCluster:
                  enable_checker: bool = False,
                  workload_clients: bool = True,
                  transport: Optional[Transport] = None,
+                 batch: BatchOption = None,
                  server_ids: Optional[Iterable[tuple[int, int]]] = None,
                  trace: bool = False, trace_source: str = "local") -> None:
         self.protocol = protocol
@@ -97,12 +102,21 @@ class RealtimeCluster:
                 f"kernels; the realtime backend needs them")
         self._spec = spec
         self.clock = WallClock()
-        self.transport = transport if transport is not None else InprocTransport()
+        if transport is not None:
+            if batch is not None:
+                raise ConfigurationError(
+                    "pass batch= to the transport constructor when "
+                    "supplying an explicit transport")
+            self.transport = transport
+        else:
+            self.transport = InprocTransport(batch=batch)
         self.partitioner = HashPartitioner(config.num_partitions)
         self.metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
         self.checker = CausalConsistencyChecker() if enable_checker else None
         self.trace_bus: Optional[EventBus] = (
             EventBus(self.clock, source=trace_source) if trace else None)
+        if self.trace_bus is not None:
+            self.transport.tracer = self.trace_bus
         self._closed = False
         self._started = False
 

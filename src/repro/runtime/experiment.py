@@ -37,7 +37,7 @@ from repro.metrics.collectors import RunResult
 from repro.obs.trace import TraceAssembler
 from repro.runtime.cluster import RealtimeCluster, drive_closed_loops
 from repro.runtime.process import ProcessCluster
-from repro.runtime.transport import TRANSPORTS
+from repro.runtime.transport import TRANSPORTS, BatchOption
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 
 #: Default wall-clock run length (seconds) including warmup.
@@ -72,6 +72,7 @@ def run_realtime_experiment(protocol: str,
                             workload: Optional[WorkloadParameters] = None, *,
                             duration_seconds: Optional[float] = None,
                             transport: str = "inproc",
+                            batch: BatchOption = None,
                             enable_checker: bool = False,
                             check_consistency: bool = False,
                             trace: bool = False,
@@ -84,7 +85,8 @@ def run_realtime_experiment(protocol: str,
     simulated duration, because real seconds actually elapse.  With
     ``transport="tcp"`` the warmup window is re-anchored at traffic start in
     every client worker, so the measurement window matches the in-process
-    semantics.
+    semantics.  ``batch`` turns on send coalescing on every transport in the
+    run (``True`` for the default :class:`~repro.wire.batch.FlushPolicy`).
     """
     config = config or ClusterConfig.test_scale()
     workload = workload or DEFAULT_WORKLOAD
@@ -102,7 +104,7 @@ def run_realtime_experiment(protocol: str,
     if transport == "tcp":
         cluster: Union[RealtimeCluster, ProcessCluster] = ProcessCluster(
             protocol, config, workload, enable_checker=enable_checker,
-            workload_clients=True, trace=trace)
+            workload_clients=True, batch=batch, trace=trace)
 
         async def _run() -> None:
             # stop() also covers a start() that failed mid-handshake: the
@@ -118,7 +120,7 @@ def run_realtime_experiment(protocol: str,
     else:
         cluster = RealtimeCluster(protocol, config, workload,
                                   enable_checker=enable_checker,
-                                  trace=trace)
+                                  batch=batch, trace=trace)
 
         async def _run() -> None:
             try:

@@ -59,7 +59,12 @@ from repro.runtime.cluster import (
     drive_closed_loops,
 )
 from repro.runtime.nodes import OPERATION_TIMEOUT_SECONDS
-from repro.runtime.transport import TcpTransport
+from repro.runtime.transport import (
+    BatchOption,
+    TcpTransport,
+    resolve_flush_policy,
+)
+from repro.wire.batch import FlushPolicy
 from repro.wire.codec import decode, encode, register_wire_type
 from repro.wire.framing import read_frame, write_frame
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
@@ -100,6 +105,8 @@ class WorkerSpec:
     #: Enable the repro.obs event bus in the worker (trailing default keeps
     #: the wire encoding decodable by peers that predate tracing).
     trace: bool = False
+    #: Flush policy for the worker's TcpTransport, or None for unbatched.
+    batch: Optional[FlushPolicy] = None
 
 
 @dataclass(frozen=True)
@@ -232,7 +239,7 @@ def _collect_result(cluster: RealtimeCluster, worker_id: int) -> WorkerResult:
 
 async def _worker_main(spec: WorkerSpec) -> None:
     role = spec.role
-    transport = TcpTransport()
+    transport = TcpTransport(batch=spec.batch)
     await transport.start()
     cluster = RealtimeCluster(
         spec.protocol, spec.config, spec.workload,
@@ -336,6 +343,7 @@ class ProcessCluster:
                  workload: Optional[WorkloadParameters] = None, *,
                  enable_checker: bool = False,
                  workload_clients: bool = True,
+                 batch: BatchOption = None,
                  trace: bool = False) -> None:
         self.protocol = protocol
         self.config = config = config or ClusterConfig()
@@ -353,6 +361,9 @@ class ProcessCluster:
                                        workload_clients=workload_clients)
         self._enable_checker = enable_checker
         self._trace = trace
+        #: One policy for the whole mesh: every worker transport and the
+        #: parent's view transport flush identically.
+        self._batch = resolve_flush_policy(batch)
         #: Run-wide timeline: every worker ships its drained event stream
         #: over the control plane and the parent assembles one global view.
         self.trace_assembler: Optional[TraceAssembler] = (
@@ -362,8 +373,8 @@ class ProcessCluster:
         #: run-wide aggregation target.
         self.view = RealtimeCluster(
             protocol, config, workload, enable_checker=enable_checker,
-            workload_clients=False, transport=TcpTransport(), server_ids=(),
-            trace=trace, trace_source="parent")
+            workload_clients=False, transport=TcpTransport(batch=self._batch),
+            server_ids=(), trace=trace, trace_source="parent")
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._queues: dict[int, asyncio.Queue] = {}
@@ -562,7 +573,7 @@ class ProcessCluster:
                 workload=self.workload, role=role,
                 control_host="127.0.0.1", control_port=control_port,
                 enable_checker=self._enable_checker,
-                trace=self._trace)
+                trace=self._trace, batch=self._batch)
             process = context.Process(target=worker_entry, args=(spec,),
                                       daemon=True)
             process.start()

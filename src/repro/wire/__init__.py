@@ -15,16 +15,23 @@ heavyweight sibling.
 from repro._lazy import make_lazy
 
 _EXPORTS = {
+    "BatchFrame": "repro.wire.batch",
+    "DEFAULT_FLUSH_POLICY": "repro.wire.batch",
+    "FORMAT_BATCH": "repro.wire.codec",
     "FORMAT_BINARY": "repro.wire.codec",
     "FORMAT_JSON": "repro.wire.codec",
+    "FlushPolicy": "repro.wire.batch",
     "FrameDecoder": "repro.wire.framing",
     "LENGTH_BYTES": "repro.wire.framing",
+    "MAX_BATCH_MESSAGES": "repro.wire.batch",
     "MAX_FRAME_BYTES": "repro.wire.framing",
     "SUPPORTED_WIRE_VERSIONS": "repro.wire.codec",
     "WIRE_VERSION": "repro.wire.codec",
     "decode": "repro.wire.codec",
     "encode": "repro.wire.codec",
+    "encode_batch": "repro.wire.batch",
     "frame": "repro.wire.framing",
+    "intern_key": "repro.wire.intern",
     "read_frame": "repro.wire.framing",
     "register_wire_type": "repro.wire.codec",
     "registered_wire_types": "repro.wire.codec",

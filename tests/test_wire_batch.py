@@ -1,0 +1,334 @@
+"""Batch frame tests: columnar coalescing, flush policies, edge cases.
+
+Covers the wire side (encode_batch/decode round trips, empty and single
+batches, oversize rejection, version gating, torn-frame reassembly through
+FrameDecoder) and the transport side (threshold and idle flushes, graceful
+stop, batch trace events) without spawning any processes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.common.kernel import ServerAddr
+from repro.core.common.messages import (
+    CcloPutReply,
+    RemoteHeartbeat,
+    ReplicateUpdate,
+)
+from repro.errors import ConfigurationError, WireFormatError
+from repro.runtime.transport import (
+    Envelope,
+    InprocTransport,
+    TcpTransport,
+    resolve_flush_policy,
+)
+from repro.wire.batch import (
+    DEFAULT_FLUSH_POLICY,
+    BatchFrame,
+    FlushPolicy,
+    MAX_BATCH_MESSAGES,
+    MIN_COLUMNAR_RUN,
+    decode_batch_payload,
+    encode_batch,
+)
+from repro.wire.codec import FORMAT_BATCH, MAGIC, WIRE_VERSION, decode
+from repro.wire.framing import FrameDecoder, frame
+from repro.wire.intern import clear_interned, intern_key
+
+DEST = ServerAddr(1, 0)
+
+
+def _replicate(index: int, key: str = "hot-key") -> Envelope:
+    return Envelope(
+        sender=ServerAddr(0, 0), dest=DEST,
+        payload=ReplicateUpdate(
+            key=key, timestamp=1000 + index, origin_dc=0, value_size=64,
+            dependency_vector=(index, 0), dependencies=(),
+            writer="c-0", sequence=index),
+        trace=f"c-0#{index}")
+
+
+def _heartbeat(index: int) -> Envelope:
+    return Envelope(sender=ServerAddr(0, 0), dest=DEST,
+                    payload=RemoteHeartbeat(origin_dc=0,
+                                            timestamp=2000 + index))
+
+
+class TestBatchCodec:
+    def test_homogeneous_batch_round_trips(self):
+        envelopes = [_replicate(i) for i in range(16)]
+        decoded = decode(encode_batch(envelopes))
+        assert isinstance(decoded, BatchFrame)
+        assert len(decoded) == 16
+        assert list(decoded.envelopes) == envelopes
+
+    def test_heterogeneous_batch_round_trips(self):
+        # Alternating payload types: every run is shorter than
+        # MIN_COLUMNAR_RUN, so everything lands in generic sections.
+        envelopes = []
+        for i in range(6):
+            envelopes.append(_replicate(i))
+            envelopes.append(_heartbeat(i))
+        decoded = decode(encode_batch(envelopes))
+        assert list(decoded.envelopes) == envelopes
+
+    def test_mixed_runs_round_trip(self):
+        envelopes = ([_replicate(i) for i in range(MIN_COLUMNAR_RUN)]
+                     + [_heartbeat(0)]
+                     + [_replicate(i, key=f"k{i}") for i in range(9)])
+        decoded = decode(encode_batch(envelopes))
+        assert list(decoded.envelopes) == envelopes
+
+    def test_empty_batch_round_trips(self):
+        decoded = decode(encode_batch([]))
+        assert isinstance(decoded, BatchFrame)
+        assert decoded.envelopes == ()
+
+    def test_single_message_batch_round_trips(self):
+        decoded = decode(encode_batch([_replicate(0)]))
+        assert list(decoded.envelopes) == [_replicate(0)]
+
+    def test_oversize_batch_rejected(self):
+        one = _replicate(0)
+        with pytest.raises(WireFormatError, match="limit"):
+            encode_batch([one] * (MAX_BATCH_MESSAGES + 1))
+
+    def test_announced_count_must_match(self):
+        payload = bytearray(encode_batch([_replicate(i) for i in range(5)]))
+        payload[3:7] = (6).to_bytes(4, "big")
+        with pytest.raises(WireFormatError, match="announced"):
+            decode(bytes(payload))
+
+    def test_unknown_section_kind_rejected(self):
+        payload = bytearray(encode_batch([_replicate(i) for i in range(5)]))
+        payload[9] = 77  # first section kind byte
+        with pytest.raises(WireFormatError, match="section kind"):
+            decode(bytes(payload))
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_batch([_replicate(i) for i in range(5)]) + b"\x00"
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode(payload)
+
+    def test_truncated_batch_rejected(self):
+        payload = encode_batch([_replicate(i) for i in range(5)])
+        with pytest.raises(WireFormatError):
+            decode(payload[:len(payload) - 3])
+        with pytest.raises(WireFormatError, match="short"):
+            decode_batch_payload(bytes((MAGIC, WIRE_VERSION, FORMAT_BATCH)))
+
+
+class TestVersionGating:
+    def test_batch_frames_require_version_3(self):
+        # A (buggy or hostile) peer stamping the batch format with an older
+        # version byte must be rejected loudly, not mis-parsed.
+        payload = bytearray(encode_batch([_replicate(i) for i in range(4)]))
+        assert payload[1] == 3
+        payload[1] = 2
+        with pytest.raises(WireFormatError, match="version"):
+            decode(bytes(payload))
+
+    def test_v2_per_message_frames_decode_under_v3(self):
+        from repro.wire.codec import encode
+        envelope = _replicate(0)
+        payload = bytearray(encode(envelope))
+        payload[1] = 2
+        assert decode(bytes(payload)) == envelope
+
+
+class TestColumnarDetails:
+    def test_type_changing_constant_folds_are_refused(self):
+        # 0 == 0.0 in Python, so a naive constant fold would silently turn
+        # the float into an int on decode.  The encoder must notice the
+        # type split and fall back to a per-value column.
+        envelopes = [Envelope(sender=None, dest=DEST,
+                              payload=CcloPutReply(key="k", timestamp=0))
+                     for _ in range(4)]
+        envelopes.append(Envelope(sender=None, dest=DEST,
+                                  payload=CcloPutReply(key="k",
+                                                       timestamp=0.0)))
+        decoded = decode(encode_batch(envelopes)).envelopes
+        assert [type(e.payload.timestamp) for e in decoded] == [
+            int, int, int, int, float]
+
+    def test_decoded_keys_are_interned(self):
+        clear_interned()
+        try:
+            decoded = decode(encode_batch(
+                [_replicate(i) for i in range(8)])).envelopes
+            keys = {id(envelope.payload.key) for envelope in decoded}
+            assert len(keys) == 1
+            assert decoded[0].payload.key is intern_key("hot-key")
+        finally:
+            clear_interned()
+
+    def test_torn_frame_reassembles_through_frame_decoder(self):
+        envelopes = [_replicate(i) for i in range(12)]
+        stream = frame(encode_batch(envelopes))
+        decoder = FrameDecoder()
+        payloads = []
+        for start in range(0, len(stream), 7):
+            payloads.extend(decoder.feed(stream[start:start + 7]))
+        assert len(payloads) == 1
+        assert list(decode(payloads[0]).envelopes) == envelopes
+
+
+class TestFlushPolicy:
+    def test_defaults_and_validation(self):
+        assert DEFAULT_FLUSH_POLICY.max_messages == 128
+        with pytest.raises(ValueError, match="max_messages"):
+            FlushPolicy(max_messages=0)
+        with pytest.raises(ValueError, match="max_messages"):
+            FlushPolicy(max_messages=MAX_BATCH_MESSAGES + 1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            FlushPolicy(max_bytes=0)
+
+    def test_resolve(self):
+        assert resolve_flush_policy(None) is None
+        assert resolve_flush_policy(False) is None
+        assert resolve_flush_policy(True) is DEFAULT_FLUSH_POLICY
+        policy = FlushPolicy(max_messages=4)
+        assert resolve_flush_policy(policy) is policy
+        with pytest.raises(ConfigurationError, match="batch"):
+            resolve_flush_policy(128)
+
+
+class _SinkNode:
+    def __init__(self) -> None:
+        self.received: list[tuple[object, object]] = []
+        self.event = asyncio.Event()
+
+    def deliver(self, sender, message, trace=None) -> None:
+        self.received.append((sender, message))
+        self.event.set()
+
+
+class _RecordingTracer:
+    def __init__(self) -> None:
+        self.events: list[tuple[str, tuple]] = []
+
+    def emit(self, node, kind, *, trace=None, name="", dc=-1, data=()):
+        self.events.append((kind, data))
+
+
+class TestInprocBatching:
+    def test_threshold_flush_inside_send(self):
+        async def scenario():
+            transport = InprocTransport(batch=FlushPolicy(max_messages=3))
+            node = _SinkNode()
+            transport.register_local(DEST, node)
+            for i in range(2):
+                transport.send(None, DEST, _replicate(i).payload)
+            assert node.received == []  # still buffered
+            transport.send(None, DEST, _replicate(2).payload)
+            assert len(node.received) == 3  # threshold flush, in order
+
+        asyncio.run(scenario())
+
+    def test_idle_flush_and_stop(self):
+        async def scenario():
+            transport = InprocTransport(batch=True)
+            tracer = _RecordingTracer()
+            transport.tracer = tracer
+            node = _SinkNode()
+            transport.register_local(DEST, node)
+            transport.send(None, DEST, _replicate(0).payload)
+            assert node.received == []
+            await asyncio.sleep(0)  # the scheduled idle flush runs
+            assert len(node.received) == 1
+            transport.send(None, DEST, _replicate(1).payload)
+            await transport.stop()  # stop() flushes whatever is pending
+            assert len(node.received) == 2
+            assert [kind for kind, _data in tracer.events] == [
+                "batch_flush", "batch_flush"]
+
+        asyncio.run(scenario())
+
+    def test_without_loop_falls_back_to_direct_delivery(self):
+        transport = InprocTransport(batch=True)
+        node = _SinkNode()
+        transport.register_local(DEST, node)
+        transport.send(None, DEST, _replicate(0).payload)
+        assert len(node.received) == 1
+
+
+class TestTcpBatching:
+    def test_batched_cross_transport_delivery(self):
+        async def scenario():
+            a = TcpTransport()
+            b = TcpTransport(batch=FlushPolicy(max_messages=8))
+            tracer = _RecordingTracer()
+            b.tracer = tracer
+            await a.start()
+            await b.start()
+            node = _SinkNode()
+            a.register_local(DEST, node)
+            peers = {DEST: ("127.0.0.1", a.port)}
+            b.set_peers(peers)
+
+            sent = [_replicate(i, key=f"k{i % 3}") for i in range(20)]
+            for envelope in sent:
+                b.send(envelope.sender, DEST, envelope.payload,
+                       envelope.trace)
+            # 20 sends with max_messages=8: two threshold flushes plus an
+            # idle flush of the remaining 4.
+            for _ in range(500):
+                if len(node.received) >= 20:
+                    break
+                await asyncio.sleep(0.01)
+            assert [message for _sender, message in node.received] == [
+                envelope.payload for envelope in sent]
+            flushes = [data for kind, data in tracer.events
+                       if kind == "batch_flush"]
+            assert [dict(data)["count"] for data in flushes] == [8, 8, 4]
+            await b.stop()
+            await a.stop()
+            assert a.failure is None
+            assert b.failure is None
+
+        asyncio.run(scenario())
+
+    def test_pending_batch_flushed_on_stop(self):
+        async def scenario():
+            a = TcpTransport()
+            b = TcpTransport(batch=True)  # thresholds far above 5 messages
+            await a.start()
+            await b.start()
+            node = _SinkNode()
+            a.register_local(DEST, node)
+            b.set_peers({DEST: ("127.0.0.1", a.port)})
+            for i in range(5):
+                b.send(None, DEST, _replicate(i).payload)
+            await b.stop()
+            for _ in range(500):
+                if len(node.received) >= 5:
+                    break
+                await asyncio.sleep(0.01)
+            assert len(node.received) == 5
+            await a.stop()
+            assert a.failure is None
+
+        asyncio.run(scenario())
+
+    def test_single_pending_envelope_goes_out_unbatched(self):
+        async def scenario():
+            a = TcpTransport()
+            b = TcpTransport(batch=True)
+            recv_tracer = _RecordingTracer()
+            a.tracer = recv_tracer
+            await a.start()
+            await b.start()
+            node = _SinkNode()
+            a.register_local(DEST, node)
+            b.set_peers({DEST: ("127.0.0.1", a.port)})
+            b.send(None, DEST, _replicate(0).payload)
+            await asyncio.wait_for(node.event.wait(), 5.0)
+            # A flush of one envelope is a plain per-message frame, so the
+            # receiver sees no batch_recv event.
+            assert all(kind != "batch_recv"
+                       for kind, _data in recv_tracer.events)
+            await b.stop()
+            await a.stop()
+
+        asyncio.run(scenario())

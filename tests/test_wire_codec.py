@@ -213,29 +213,33 @@ class TestFraming:
 
 
 class TestWireVersionCompat:
-    """Wire version 2 (trace-carrying frames) against version-1 peers.
+    """Wire versions 2 (trace-carrying) and 3 (batch frames) vs old peers.
 
     Version 2 appended trailing optional struct fields (``Envelope.trace``,
     ``TraceEvent`` shipping); both decoders fill absent trailing fields from
     dataclass defaults, so v1 frames — and v2 frames from senders built
-    before a field was appended — keep decoding.
+    before a field was appended — keep decoding.  Version 3 added the batch
+    frame format (0x03); per-message v1/v2 frames are unchanged, so they
+    keep decoding under a v3 codec.
     """
 
     def test_version_constants(self):
         from repro.wire.codec import SUPPORTED_WIRE_VERSIONS
-        assert WIRE_VERSION == 2
-        assert SUPPORTED_WIRE_VERSIONS == (1, 2)
+        assert WIRE_VERSION == 3
+        assert SUPPORTED_WIRE_VERSIONS == (1, 2, 3)
         assert WIRE_VERSION in SUPPORTED_WIRE_VERSIONS
 
-    def test_version_1_frames_still_decode(self):
-        for format in ("binary", "json"):
-            payload = bytearray(encode(SAMPLES[CcloPutReply], format=format))
-            assert payload[1] == WIRE_VERSION
-            payload[1] = 1
-            assert decode(bytes(payload)) == SAMPLES[CcloPutReply]
+    def test_older_version_frames_still_decode(self):
+        for version in (1, 2):
+            for format in ("binary", "json"):
+                payload = bytearray(encode(SAMPLES[CcloPutReply],
+                                           format=format))
+                assert payload[1] == WIRE_VERSION
+                payload[1] = version
+                assert decode(bytes(payload)) == SAMPLES[CcloPutReply]
 
     def test_unsupported_versions_rejected(self):
-        for version in (0, 3, 99):
+        for version in (0, 4, 99):
             payload = bytearray(encode(SAMPLES[CcloPutReply]))
             payload[1] = version
             with pytest.raises(WireFormatError, match="version"):
