@@ -1,19 +1,29 @@
 #!/usr/bin/env python
-"""Diff a fresh saturation report against the committed baseline.
+"""Diff a fresh benchmark report against the committed baseline.
 
-CI regenerates ``BENCH_saturation.json`` on every push and runs::
+CI regenerates the benchmark JSON on every push and runs::
 
     python benchmarks/bench_compare.py \
         --baseline benchmarks/results/BENCH_saturation.json \
         --current BENCH_saturation.json
 
-The comparison **fails** (exit 1) when any protocol's batched firehose
-throughput regresses more than ``--tolerance`` (default 25%) below the
-committed baseline, or when the best batching speedup drops under
-``--min-speedup`` (default 2x, the acceptance gate of the batched hot
-path).  Improvements are reported but never fail; after an intentional
-performance change, regenerate the baseline and commit it alongside the
-code.
+The report kind is dispatched on the baseline's ``"benchmark"`` field.
+
+For **saturation** reports the comparison **fails** (exit 1) when any
+protocol's batched firehose throughput regresses more than ``--tolerance``
+(default 25%) below the committed baseline, or when the best batching
+speedup drops under ``--min-speedup`` (default 2x, the acceptance gate of
+the batched hot path).
+
+For **checker** reports it fails when streaming or monolithic checking
+throughput regresses more than ``--tolerance``, when the streaming
+checker's peak-memory growth over the 8x history-length series exceeds
+``--max-memory-growth`` (default 2.0 — the bounded-memory gate: O(window)
+memory must stay flat while history length scales), or when the current
+run's streaming and monolithic reports were not byte-identical.
+
+Improvements are reported but never fail; after an intentional performance
+change, regenerate the baseline and commit it alongside the code.
 """
 
 from __future__ import annotations
@@ -27,11 +37,56 @@ DEFAULT_TOLERANCE = 0.25
 #: The batched replication path must keep at least this speedup on one
 #: protocol (the bar the batching work was merged against).
 DEFAULT_MIN_SPEEDUP = 2.0
+#: Allowed streaming-checker peak-RSS growth across the 8x history-length
+#: series (1.0 = perfectly flat; O(history) growth would approach 8x).
+DEFAULT_MAX_MEMORY_GROWTH = 2.0
 
 
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def _compare_rate(label: str, base_value: float, cur_value: float,
+                  tolerance: float, failures: list[str]) -> None:
+    change = (cur_value - base_value) / base_value
+    verdict = "ok"
+    if change < -tolerance:
+        verdict = "REGRESSION"
+        failures.append(
+            f"{label}: {cur_value:,.0f} is {-change * 100:.1f}% below the "
+            f"baseline {base_value:,.0f} (tolerance {tolerance * 100:.0f}%)")
+    print(f"  {label:<28} {base_value:>12,.0f} -> {cur_value:>12,.0f} "
+          f"({change * +100:+.1f}%) {verdict}")
+
+
+def compare_checker(baseline: dict, current: dict, tolerance: float,
+                    max_memory_growth: float) -> list[str]:
+    """Gate a checker report: throughput, bounded memory, equivalence."""
+    failures: list[str] = []
+    _compare_rate("streaming ops_s",
+                  baseline["streaming"]["ops_s"],
+                  current["streaming"]["ops_s"], tolerance, failures)
+    _compare_rate("monolithic ops_s",
+                  baseline["monolithic"]["ops_s"],
+                  current["monolithic"]["ops_s"], tolerance, failures)
+    growth = current["streaming"]["memory_growth"]
+    series = current["streaming"]["series"]
+    span = (series[-1]["ops"] / series[0]["ops"]) if series else 0
+    print(f"  streaming memory growth: {growth:.2f}x over {span:.0f}x "
+          f"history (allowed: {max_memory_growth:.1f}x)")
+    if growth > max_memory_growth:
+        failures.append(
+            f"streaming peak memory grew {growth:.2f}x over a {span:.0f}x "
+            f"history-length span (allowed {max_memory_growth:.1f}x) — "
+            f"memory is no longer bounded by the window")
+    equivalent = current.get("equivalent", False)
+    print(f"  streaming/monolithic reports identical: {equivalent}")
+    if not equivalent:
+        failures.append(
+            "streaming and monolithic checkers no longer produce "
+            "byte-identical reports")
+    return failures
 
 
 def compare(baseline: dict, current: dict, tolerance: float,
@@ -84,12 +139,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float,
                         default=DEFAULT_MIN_SPEEDUP,
                         help="required best batched/unbatched speedup "
-                             "(default: %(default)s)")
+                             "(saturation reports; default: %(default)s)")
+    parser.add_argument("--max-memory-growth", type=float,
+                        default=DEFAULT_MAX_MEMORY_GROWTH,
+                        help="allowed streaming-checker memory growth over "
+                             "the history-length series (checker reports; "
+                             "default: %(default)s)")
     args = parser.parse_args(argv)
 
     print(f"comparing {args.current} against baseline {args.baseline}:")
-    failures = compare(load(args.baseline), load(args.current),
-                       args.tolerance, args.min_speedup)
+    baseline, current = load(args.baseline), load(args.current)
+    if baseline.get("benchmark") == "checker":
+        failures = compare_checker(baseline, current, args.tolerance,
+                                   args.max_memory_growth)
+    else:
+        failures = compare(baseline, current, args.tolerance,
+                           args.min_speedup)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""CI checker benchmark: streaming vs monolithic consistency checking on
+million-op histories, as JSON.
+
+Three stages:
+
+**Streaming series** — the :class:`~repro.causal.streaming.StreamingChecker`
+validates deterministic synthetic histories (:mod:`repro.causal.synth`) of
+increasing length, each in a fresh subprocess so peak RSS is attributable to
+that run alone.  The series is the memory-boundedness evidence: checker
+memory is O(window), so peak RSS must stay flat while history length grows
+8x (``bench_compare.py`` gates the growth ratio).  Throughput (ops checked
+per second) comes from the same runs, unperturbed by allocation tracing.
+
+**Monolithic compare** — the monolithic
+:class:`~repro.causal.checker.CausalConsistencyChecker` on the same
+workload at ``--compare-ops`` (it holds the entire history, so it does not
+get the million-op scale), plus a byte-identical report-equivalence check:
+both checkers run in-process on one history and must produce the same
+violations in the same order — ``"equivalent"`` in the JSON, gated by
+``bench_compare.py``.
+
+**TCP capture** — a short multi-process run
+(:func:`~repro.runtime.experiment.run_realtime_experiment` with
+``transport="tcp", checker="streaming"``): workers stream observation-log
+chunks over the wire codec during the run and the parent checks them
+incrementally.  Validates the capture path end-to-end; fails the benchmark
+on any violation or if no chunks were streamed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_checker_benchmark.py \
+        [--output BENCH_checker.json] [--ops 1000000] \
+        [--compare-ops 100000] [--skip-tcp]
+
+CI runs this on every push and diffs the committed baseline in
+``benchmarks/results/BENCH_checker.json`` with ``bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.causal.checker import CausalConsistencyChecker
+from repro.causal.streaming import StreamingChecker
+from repro.causal.synth import generate_history, materialize
+
+#: Longest synthetic history (the headline scale); the series measures
+#: max/8, max/4, max/2 and max operations.
+DEFAULT_OPS = 1_000_000
+#: Scale for the monolithic comparison and the equivalence check.
+DEFAULT_COMPARE_OPS = 100_000
+#: Streaming ingestion chunk (the observation-shipping analogue).
+CHUNK_OPS = 2_048
+#: Checker window for every streaming measurement.
+WINDOW_OPS = 4_096
+#: Wall-clock duration of the TCP capture run (seconds).
+TCP_CAPTURE_SECONDS = 1.0
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _stream_check(total_ops: int, workers: int | None) -> dict[str, object]:
+    """Feed a synthetic history chunk-wise through a streaming checker."""
+    checker = StreamingChecker(window_ops=WINDOW_OPS, max_workers=workers)
+    started = time.perf_counter()
+    puts, rots, pending = [], [], 0
+    for kind, op in generate_history(total_ops):
+        (puts if kind == "put" else rots).append(op)
+        pending += 1
+        if pending == CHUNK_OPS:
+            checker.record_history(puts, rots)
+            puts, rots, pending = [], [], 0
+    checker.record_history(puts, rots)
+    report = checker.finish()
+    elapsed = time.perf_counter() - started
+    return {
+        "ops": total_ops,
+        "ops_s": round(total_ops / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "peak_live_versions": checker.peak_live_versions,
+        "windows_sealed": checker.windows_sealed,
+        "versions_retired": checker.versions_retired,
+        "violations": (len(report.snapshot_violations)
+                       + len(report.session_violations)),
+    }
+
+
+def _mono_check(total_ops: int) -> dict[str, object]:
+    checker = CausalConsistencyChecker()
+    started = time.perf_counter()
+    for kind, op in generate_history(total_ops):
+        if kind == "put":
+            checker.record_put(op)
+        else:
+            checker.record_rot(op)
+    report = checker.check()
+    elapsed = time.perf_counter() - started
+    return {
+        "ops": total_ops,
+        "ops_s": round(total_ops / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "violations": (len(report.snapshot_violations)
+                       + len(report.session_violations)),
+    }
+
+
+def _run_child(kind: str, total_ops: int, workers: int | None) -> dict:
+    """One measurement in a fresh subprocess (isolated, attributable RSS)."""
+    argv = [sys.executable, os.path.abspath(__file__), "--child", kind,
+            "--ops", str(total_ops)]
+    if workers:
+        argv += ["--workers", str(workers)]
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(argv, capture_output=True, text=True, env=env)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"child {kind}@{total_ops} failed:\n{completed.stderr}")
+    return json.loads(completed.stdout)
+
+
+def run_streaming_series(max_ops: int) -> dict[str, object]:
+    series = []
+    for ops in (max_ops // 8, max_ops // 4, max_ops // 2, max_ops):
+        row = _run_child("streaming", ops, None)
+        series.append(row)
+        print(f"  streaming {ops:>9,} ops: {row['ops_s']:>9,.0f} ops/s, "
+              f"peak RSS {row['peak_rss_mb']:.0f} MB, "
+              f"peak live {row['peak_live_versions']:,} versions, "
+              f"{row['windows_sealed']} windows")
+    growth = series[-1]["peak_rss_mb"] / series[0]["peak_rss_mb"]
+    parallel = _run_child("streaming", max_ops // 8, 2)
+    print(f"  streaming {max_ops // 8:>9,} ops (2 workers): "
+          f"{parallel['ops_s']:>9,.0f} ops/s")
+    return {
+        "series": series,
+        "memory_growth": round(growth, 3),
+        "ops_s": series[-1]["ops_s"],
+        "parallel_ops_s": parallel["ops_s"],
+    }
+
+
+def run_monolithic_compare(compare_ops: int) -> dict[str, object]:
+    row = _run_child("monolithic", compare_ops, None)
+    print(f"  monolithic {compare_ops:>8,} ops: {row['ops_s']:>9,.0f} ops/s, "
+          f"peak RSS {row['peak_rss_mb']:.0f} MB")
+    return row
+
+
+def check_equivalence(compare_ops: int) -> bool:
+    """Byte-identical report equivalence on one shared history."""
+    puts, rots = materialize(compare_ops)
+    mono = CausalConsistencyChecker()
+    for put in puts:
+        mono.record_put(put)
+    for rot in rots:
+        mono.record_rot(rot)
+    mono_report = mono.check()
+    streaming = StreamingChecker(window_ops=WINDOW_OPS)
+    chunk_puts, chunk_rots, pending = [], [], 0
+    for kind, op in generate_history(compare_ops):
+        (chunk_puts if kind == "put" else chunk_rots).append(op)
+        pending += 1
+        if pending == CHUNK_OPS:
+            streaming.record_history(chunk_puts, chunk_rots)
+            chunk_puts, chunk_rots, pending = [], [], 0
+    streaming.record_history(chunk_puts, chunk_rots)
+    stream_report = streaming.finish()
+    equivalent = (
+        mono_report.puts == stream_report.puts
+        and mono_report.rots == stream_report.rots
+        and mono_report.snapshot_violations == stream_report.snapshot_violations
+        and mono_report.session_violations == stream_report.session_violations)
+    print(f"  equivalence @ {compare_ops:,} ops: "
+          f"{'identical reports' if equivalent else 'REPORTS DIFFER'}")
+    return equivalent
+
+
+def run_tcp_capture() -> dict[str, object]:
+    from repro.cluster.config import ClusterConfig
+    from repro.runtime.experiment import run_realtime_experiment
+
+    outcome = run_realtime_experiment(
+        "contrarian", ClusterConfig.test_scale(num_dcs=2),
+        duration_seconds=TCP_CAPTURE_SECONDS, transport="tcp",
+        enable_checker=True, checker="streaming", label="checker-capture")
+    report = outcome.checker_report
+    cluster = outcome.cluster
+    row = {
+        "protocol": "contrarian",
+        "chunks_ingested": cluster.chunks_ingested,
+        "puts": report.puts,
+        "rots": report.rots,
+        "windows_sealed": cluster.checker.windows_sealed,
+        "violations": (len(report.snapshot_violations)
+                       + len(report.session_violations)),
+    }
+    print(f"  tcp capture: {row['chunks_ingested']} chunks, "
+          f"{row['puts']:,} puts / {row['rots']:,} rots, "
+          f"violations {row['violations']}")
+    return row
+
+
+def child_main(kind: str, total_ops: int, workers: int | None) -> int:
+    row = (_stream_check(total_ops, workers) if kind == "streaming"
+           else _mono_check(total_ops))
+    json.dump(row, sys.stdout)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_checker.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help="largest streaming history "
+                             "(default: %(default)s)")
+    parser.add_argument("--compare-ops", type=int,
+                        default=DEFAULT_COMPARE_OPS,
+                        help="monolithic-comparison scale "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-tcp", action="store_true",
+                        help="skip the TCP capture stage (no process "
+                             "clusters)")
+    parser.add_argument("--child", choices=("streaming", "monolithic"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--workers", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        return child_main(args.child, args.ops, args.workers)
+    if args.ops < 8:
+        parser.error("--ops must be at least 8")
+
+    output_dir = os.path.dirname(os.path.abspath(args.output))
+    os.makedirs(output_dir, exist_ok=True)
+
+    started = time.perf_counter()
+    print("streaming series:")
+    streaming = run_streaming_series(args.ops)
+    print("monolithic compare:")
+    monolithic = run_monolithic_compare(args.compare_ops)
+    equivalent = check_equivalence(args.compare_ops)
+    tcp_capture: dict | None = None
+    if not args.skip_tcp:
+        print("tcp capture:")
+        tcp_capture = run_tcp_capture()
+    wall_clock = time.perf_counter() - started
+
+    violations = (sum(row["violations"] for row in streaming["series"])
+                  + monolithic["violations"]
+                  + (tcp_capture["violations"] if tcp_capture else 0))
+    report = {
+        "benchmark": "checker",
+        "window_ops": WINDOW_OPS,
+        "chunk_ops": CHUNK_OPS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "wall_clock_seconds": round(wall_clock, 3),
+        "streaming": streaming,
+        "monolithic": monolithic,
+        "equivalent": equivalent,
+        "violations": violations,
+        "tcp_capture": tcp_capture,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"checker benchmark: {args.ops:,} ops max in {wall_clock:.1f}s, "
+          f"memory growth {streaming['memory_growth']:.2f}x over 8x history "
+          f"-> {args.output}")
+    if not equivalent:
+        print("ERROR: streaming and monolithic reports differ",
+              file=sys.stderr)
+        return 1
+    if violations:
+        print(f"ERROR: {violations} violations on violation-free histories",
+              file=sys.stderr)
+        return 1
+    if tcp_capture is not None and tcp_capture["chunks_ingested"] == 0:
+        print("ERROR: TCP run streamed no observation chunks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_smoke_benchmark.py \
         [--output BENCH_smoke.json] [--workers N] [--backend sim|realtime] \
         [--transport inproc|tcp] [--batch|--no-batch] \
+        [--checker monolithic|streaming] \
         [--emit-trace TRACE_smoke.json] \
         [--protocols cc-lo cure] [--clients 2 4 8] [--scenario dc-partition]
 
@@ -88,7 +89,8 @@ def run_smoke(workers: int | None = None,
               scenario_name: str = "none",
               backend: str = "sim",
               transport: str = "inproc",
-              batch: bool = False) -> dict[str, object]:
+              batch: bool = False,
+              checker: str = "monolithic") -> dict[str, object]:
     """Run the smoke grid and return the JSON-ready report."""
     protocols = list(protocols or implemented_protocols())
     clients = list(clients or SMOKE_SWEEP)
@@ -101,6 +103,9 @@ def run_smoke(workers: int | None = None,
             f"transport {transport!r} requires the realtime backend")
     if batch and backend != "realtime":
         raise ConfigurationError("--batch requires the realtime backend")
+    if checker != "monolithic" and backend != "realtime":
+        raise ConfigurationError(
+            f"checker {checker!r} requires the realtime backend")
     config = smoke_config(scenario_name)
     started = time.perf_counter()
     if backend == "realtime":
@@ -111,6 +116,7 @@ def run_smoke(workers: int | None = None,
                       transport=transport,
                       batch=batch,
                       check_consistency=True,
+                      checker=checker,
                       label=f"smoke-realtime[{transport}]").result
                   for count in clients]
                   for protocol in protocols}
@@ -124,6 +130,7 @@ def run_smoke(workers: int | None = None,
         "backend": backend,
         "transport": transport if backend == "realtime" else "n/a",
         "batch": batch if backend == "realtime" else False,
+        "checker": checker if backend == "realtime" else "n/a",
         "client_counts": clients,
         "scenario": scenario_name if not scenario.is_empty else "none",
         "workers": 1 if backend == "realtime" else resolve_worker_count(workers),
@@ -241,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
                              "sends with the default flush policy "
                              "(recorded in the JSON report; "
                              "default: --no-batch)")
+    parser.add_argument("--checker", default="monolithic",
+                        choices=["monolithic", "streaming"],
+                        help="realtime backend only: validate each run with "
+                             "the buffer-everything monolithic checker or "
+                             "the bounded-memory streaming checker (over "
+                             "TCP, streaming also ships observations as "
+                             "chunks during the run; "
+                             "default: %(default)s)")
     parser.add_argument("--emit-trace", default=None, metavar="PATH",
                         help="also run a traced 2-DC point per protocol, "
                              "write the merged Perfetto timeline to PATH "
@@ -256,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--transport tcp requires --backend realtime")
     if args.batch and args.backend != "realtime":
         parser.error("--batch requires --backend realtime")
+    if args.checker != "monolithic" and args.backend != "realtime":
+        parser.error("--checker streaming requires --backend realtime")
 
     # Fail on an unwritable destination *before* spending minutes simulating.
     output_dir = os.path.dirname(os.path.abspath(args.output))
@@ -263,7 +280,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_smoke(args.workers, args.protocols, args.clients,
                        args.scenario, args.backend, args.transport,
-                       args.batch)
+                       args.batch, args.checker)
     if args.emit_trace:
         trace_dir = os.path.dirname(os.path.abspath(args.emit_trace))
         os.makedirs(trace_dir, exist_ok=True)

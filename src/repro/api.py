@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.causal.checker import CheckerReport
+from repro.causal.streaming import StreamingChecker
 from repro.cluster.config import ClusterConfig
 from repro.core.common.messages import ReadResult
 from repro.errors import ConfigurationError, RuntimeBackendError
@@ -97,6 +98,12 @@ class CausalStore:
         Record every operation's causal span chain on the repro.obs event
         bus; inspect via :meth:`trace_timeline` or export a Perfetto/Chrome
         timeline with :meth:`dump_trace`.
+    checker:
+        Realtime backend only.  ``"monolithic"`` (default) buffers the
+        whole history for :meth:`check`; ``"streaming"`` validates it
+        incrementally in GSS-bounded windows with bounded memory (see
+        :mod:`repro.causal.streaming`) — over TCP the worker processes then
+        also stream their observation logs during the run.
 
     The store is a context manager; :meth:`close` (idempotent) tears down
     the built cluster — periodic simulator tasks or asyncio tasks, worker
@@ -107,7 +114,8 @@ class CausalStore:
                  backend: str = "sim", transport: str = "inproc",
                  num_partitions: int = 4, num_dcs: int = 1,
                  config: Optional[ClusterConfig] = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 checker: str = "monolithic") -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
@@ -118,6 +126,15 @@ class CausalStore:
             raise ConfigurationError(
                 f"transport {transport!r} requires backend='realtime' "
                 f"(the sim backend has no wire)")
+        if checker not in ("monolithic", "streaming"):
+            raise ConfigurationError(
+                f"unknown checker {checker!r}; known: "
+                f"['monolithic', 'streaming']")
+        if checker == "streaming" and backend != "realtime":
+            raise ConfigurationError(
+                "checker='streaming' requires backend='realtime' (the sim "
+                "backend records its history in the monolithic checker)")
+        self.checker_kind = checker
         self.protocol = protocol
         self.backend = backend
         self.transport = transport
@@ -150,16 +167,19 @@ class CausalStore:
     def _init_realtime(self, base: ClusterConfig) -> None:
         # Build (and thereby validate) the cluster before creating the event
         # loop, so a bad protocol name cannot leak an unclosed loop.
+        streaming = self.checker_kind == "streaming"
         if self.transport == "tcp":
             self._rt_cluster = ProcessCluster(
                 self.protocol, base, WorkloadParameters(rot_size=1),
-                enable_checker=True, workload_clients=False,
-                trace=self._trace)
+                enable_checker=True,
+                checker="streaming" if streaming else None,
+                workload_clients=False, trace=self._trace)
         else:
             self._rt_cluster = RealtimeCluster(
                 self.protocol, base, WorkloadParameters(rot_size=1),
-                enable_checker=True, workload_clients=False,
-                trace=self._trace)
+                enable_checker=True,
+                checker=StreamingChecker() if streaming else None,
+                workload_clients=False, trace=self._trace)
         # Interactive clients must exist before start(): on the TCP
         # transport the peer table is distributed exactly once.
         self._clients = {dc: self._rt_cluster.add_client(dc, 0)

@@ -82,15 +82,22 @@ class CheckerReport:
     rots: int = 0
     snapshot_violations: list[str] = field(default_factory=list)
     session_violations: list[str] = field(default_factory=list)
+    #: Divergent final reads on quiesced histories.  Only the streaming
+    #: checker populates this (opt-in, see
+    #: :class:`repro.causal.streaming.StreamingChecker`); the monolithic
+    #: checker leaves it empty, so reports stay comparable.
+    convergence_violations: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.snapshot_violations and not self.session_violations
+        return (not self.snapshot_violations and not self.session_violations
+                and not self.convergence_violations)
 
     def raise_if_violations(self) -> None:
         """Raise :class:`ConsistencyViolation` if any violation was found."""
         if not self.ok:
-            problems = self.snapshot_violations + self.session_violations
+            problems = (self.snapshot_violations + self.session_violations
+                        + self.convergence_violations)
             raise ConsistencyViolation("; ".join(problems[:10]))
 
 
@@ -103,15 +110,18 @@ class CausalConsistencyChecker:
         # Memoised "newest version per key in the causal past" maps.  Versions
         # of the same key from different DCs are summarised separately (the
         # map value is a per-origin dict) so no cross-DC comparison happens.
+        # Invalidation is a dirty flag rather than a clear-per-record: the
+        # caches are dropped lazily on the first query after new PUTs, so a
+        # record-everything-then-check run never throws warm entries away.
         self._closure_cache: dict[VersionId, dict[tuple[str, int], int]] = {}
         self._ancestor_cache: dict[tuple[VersionId, VersionId], bool] = {}
+        self._caches_stale = False
 
     # -------------------------------------------------------------- recording
     def record_put(self, put: RecordedPut) -> None:
         """Record one PUT event."""
         self._puts[put.version_id] = put
-        self._closure_cache.clear()
-        self._ancestor_cache.clear()
+        self._caches_stale = True
 
     def record_rot(self, rot: RecordedRot) -> None:
         """Record one completed ROT."""
@@ -153,12 +163,26 @@ class CausalConsistencyChecker:
         return report
 
     # -------------------------------------------------------- causal structure
+    def _refresh_caches(self) -> None:
+        """Drop memoised closures if PUTs were recorded since the last query.
+
+        A new PUT can extend the causal past of versions that depend on it,
+        so any cached summary may be stale; correctness needs the drop, the
+        dirty flag merely defers it to the next query so that recording N
+        PUTs costs no N cache clears.
+        """
+        if self._caches_stale:
+            self._closure_cache.clear()
+            self._ancestor_cache.clear()
+            self._caches_stale = False
+
     def _causal_past(self, version_id: VersionId) -> dict[tuple[str, int], int]:
         """Newest timestamp per ``(key, origin_dc)`` in the causal past.
 
         Built bottom-up with memoisation so long dependency chains (the norm
         with closed-loop clients) are expanded only once.
         """
+        self._refresh_caches()
         cached = self._closure_cache.get(version_id)
         if cached is not None:
             return cached
@@ -208,6 +232,7 @@ class CausalConsistencyChecker:
         """
         if ancestor == descendant:
             return False
+        self._refresh_caches()
         cache_key = (ancestor, descendant)
         cached = self._ancestor_cache.get(cache_key)
         if cached is not None:

@@ -51,6 +51,8 @@ BATCH_RECV = "batch_recv"
 REPLICATE_APPLY = "replicate_apply"
 GSS_ADVANCE = "gss_advance"
 VISIBLE = "visible"
+WINDOW_SEAL = "window_seal"
+WINDOW_RETIRE = "window_retire"
 
 #: Every event kind the bus emits, in rough lifecycle order.  The batch
 #: kinds are transport-level: a batching transport emits one ``batch_flush``
@@ -58,9 +60,14 @@ VISIBLE = "visible"
 #: back out (``data`` carries the envelope count), while the per-message
 #: ``msg_send``/``msg_recv`` events keep being emitted by the nodes
 #: themselves — so traces stay gap-free whether or not batching is on.
+#: The window kinds are validation-side: the streaming checker emits one
+#: ``window_seal`` when a verification window is handed to the checkers and
+#: one ``window_retire`` when its versions leave the live set (``data``
+#: carries op/version counts and the live-set size, so a timeline shows the
+#: checker's memory ceiling directly).
 EVENT_KINDS = (OP_START, OP_FINISH, EFFECT, MSG_SEND, MSG_RECV,
                BATCH_FLUSH, BATCH_RECV, REPLICATE_APPLY, GSS_ADVANCE,
-               VISIBLE)
+               VISIBLE, WINDOW_SEAL, WINDOW_RETIRE)
 
 
 @dataclass(frozen=True)
@@ -108,4 +115,6 @@ __all__ = [
     "TRACE_EVENT_TYPE_ID",
     "TraceEvent",
     "VISIBLE",
+    "WINDOW_RETIRE",
+    "WINDOW_SEAL",
 ]

@@ -63,6 +63,14 @@ class RealtimeCluster:
         Same objects the simulated builder takes.
     enable_checker:
         Record every PUT/ROT for the causal-consistency checker.
+    checker:
+        An explicit checker-shaped recorder (``record_put`` /
+        ``record_rot``) to use instead of a fresh
+        :class:`~repro.causal.checker.CausalConsistencyChecker` — a
+        :class:`~repro.causal.streaming.StreamingChecker` for windowed
+        validation, or an :class:`~repro.causal.streaming.ObservationBuffer`
+        in worker processes that stream their log to the parent.  Implies
+        ``enable_checker``.
     workload_clients:
         Create the ``config.clients_per_dc`` closed-loop clients.  The
         :class:`~repro.api.CausalStore` facade passes ``False`` and attaches
@@ -87,6 +95,7 @@ class RealtimeCluster:
     def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadParameters] = None, *,
                  enable_checker: bool = False,
+                 checker: Optional[object] = None,
                  workload_clients: bool = True,
                  transport: Optional[Transport] = None,
                  batch: BatchOption = None,
@@ -112,11 +121,16 @@ class RealtimeCluster:
             self.transport = InprocTransport(batch=batch)
         self.partitioner = HashPartitioner(config.num_partitions)
         self.metrics = MetricsRegistry(warmup_seconds=config.warmup_seconds)
-        self.checker = CausalConsistencyChecker() if enable_checker else None
+        if checker is not None:
+            self.checker: Optional[object] = checker
+        else:
+            self.checker = CausalConsistencyChecker() if enable_checker else None
         self.trace_bus: Optional[EventBus] = (
             EventBus(self.clock, source=trace_source) if trace else None)
         if self.trace_bus is not None:
             self.transport.tracer = self.trace_bus
+            if self.checker is not None and hasattr(self.checker, "tracer"):
+                self.checker.tracer = self.trace_bus
         self._closed = False
         self._started = False
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.causal.checker import CheckerReport
+from repro.causal.streaming import StreamingChecker
 from repro.cluster.config import ClusterConfig
 from repro.core.registry import resolve_spec
 from repro.errors import ConfigurationError
@@ -75,6 +76,7 @@ def run_realtime_experiment(protocol: str,
                             batch: BatchOption = None,
                             enable_checker: bool = False,
                             check_consistency: bool = False,
+                            checker: str = "monolithic",
                             trace: bool = False,
                             label: str = "") -> RealtimeOutcome:
     """Run one wall-clock experiment and return its outcome.
@@ -87,10 +89,20 @@ def run_realtime_experiment(protocol: str,
     every client worker, so the measurement window matches the in-process
     semantics.  ``batch`` turns on send coalescing on every transport in the
     run (``True`` for the default :class:`~repro.wire.batch.FlushPolicy`).
+    ``checker`` selects the validation strategy when checking is enabled:
+    ``"monolithic"`` buffers the whole history and checks at the end;
+    ``"streaming"`` verifies GSS-bounded windows incrementally with bounded
+    memory — and over TCP additionally makes the workers ship their
+    observation logs as chunks during the run instead of one giant result
+    frame (see :mod:`repro.causal.streaming`).
     """
     config = config or ClusterConfig.test_scale()
     workload = workload or DEFAULT_WORKLOAD
     _validate_transport(protocol, transport)
+    if checker not in ("monolithic", "streaming"):
+        raise ConfigurationError(
+            f"unknown checker {checker!r}; known: "
+            f"['monolithic', 'streaming']")
     duration = (DEFAULT_REALTIME_DURATION if duration_seconds is None
                 else duration_seconds)
     if duration <= config.warmup_seconds:
@@ -101,9 +113,11 @@ def run_realtime_experiment(protocol: str,
             f"config's warmup_seconds ({config.warmup_seconds})")
 
     enable_checker = enable_checker or check_consistency
+    streaming = enable_checker and checker == "streaming"
     if transport == "tcp":
         cluster: Union[RealtimeCluster, ProcessCluster] = ProcessCluster(
             protocol, config, workload, enable_checker=enable_checker,
+            checker="streaming" if streaming else None,
             workload_clients=True, batch=batch, trace=trace)
 
         async def _run() -> None:
@@ -120,6 +134,8 @@ def run_realtime_experiment(protocol: str,
     else:
         cluster = RealtimeCluster(protocol, config, workload,
                                   enable_checker=enable_checker,
+                                  checker=(StreamingChecker() if streaming
+                                           else None),
                                   batch=batch, trace=trace)
 
         async def _run() -> None:

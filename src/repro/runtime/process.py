@@ -46,10 +46,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.causal.checker import RecordedPut, RecordedRead, RecordedRot
+from repro.causal.streaming import ObservationBuffer, StreamingChecker
 from repro.cluster.config import ClusterConfig
 from repro.core.common.kernel import Addr, ClientAddr, ServerAddr
 from repro.core.registry import resolve_spec
-from repro.errors import ConfigurationError, RuntimeBackendError
+from repro.errors import (
+    ConfigurationError,
+    RuntimeBackendError,
+    WireFormatError,
+)
 from repro.metrics.overheads import OverheadCounters
 from repro.obs.events import TraceEvent
 from repro.obs.trace import TraceAssembler
@@ -64,7 +69,11 @@ from repro.runtime.transport import (
     TcpTransport,
     resolve_flush_policy,
 )
-from repro.wire.batch import FlushPolicy
+from repro.wire.batch import (
+    FlushPolicy,
+    decode_record_batch,
+    encode_record_batch,
+)
 from repro.wire.codec import decode, encode, register_wire_type
 from repro.wire.framing import read_frame, write_frame
 from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
@@ -73,6 +82,10 @@ from repro.workload.parameters import DEFAULT_WORKLOAD, WorkloadParameters
 WORKER_STARTUP_TIMEOUT_SECONDS = 60.0
 #: Bound on a worker's shutdown-time result + exit.
 WORKER_SHUTDOWN_TIMEOUT_SECONDS = 30.0
+#: Drain interval of a streaming worker's observation flusher: worker-side
+#: buffering (and the parent checker's ingest lag) is bounded by one
+#: interval's worth of operations, not the run length.
+OBSERVATION_FLUSH_SECONDS = 0.1
 
 # Reserved wire ids of the control plane (see repro.runtime.transport for
 # the 512-block convention).
@@ -107,6 +120,11 @@ class WorkerSpec:
     trace: bool = False
     #: Flush policy for the worker's TcpTransport, or None for unbatched.
     batch: Optional[FlushPolicy] = None
+    #: Ship the observation log incrementally as ObservationChunk frames
+    #: during the run (the parent feeds them into its streaming checker)
+    #: instead of one giant WorkerResult at the end.  Trailing default keeps
+    #: the wire encoding decodable by pre-streaming peers.
+    stream_observations: bool = False
 
 
 @dataclass(frozen=True)
@@ -187,8 +205,31 @@ class WorkerResult:
     events_dropped: int = 0
 
 
+@dataclass(frozen=True)
+class ObservationChunk:
+    """Worker -> parent: one drained slice of the observation log.
+
+    Sent during the run by streaming workers (``stream_observations``), so
+    the parent's :class:`~repro.causal.streaming.StreamingChecker` verifies
+    windows while traffic is still flowing and no process ever holds the
+    whole history.  ``puts_blob``/``rots_blob`` are
+    :func:`repro.wire.batch.encode_record_batch` encodings (the PR 7
+    columnar struct-array layout); the redundant counts let the parent
+    detect truncated blobs before feeding the checker.  ``sequence`` is
+    per-worker and monotonically increasing from 1.
+    """
+
+    worker_id: int
+    sequence: int
+    put_count: int
+    rot_count: int
+    puts_blob: bytes
+    rots_blob: bytes
+
+
 for _index, _cls in enumerate((WorkerHello, PeerEntry, PeerTable, WorkerReady,
-                               StartRun, Shutdown, WorkerError, WorkerResult)):
+                               StartRun, Shutdown, WorkerError, WorkerResult,
+                               ObservationChunk)):
     register_wire_type(_cls, type_id=540 + _index)
 
 
@@ -237,13 +278,61 @@ def _collect_result(cluster: RealtimeCluster, worker_id: int) -> WorkerResult:
         events_dropped=events_dropped)
 
 
+async def _flush_observations(buffer: ObservationBuffer,
+                              writer: asyncio.StreamWriter,
+                              writer_lock: asyncio.Lock,
+                              worker_id: int, sequence: int) -> int:
+    """Drain ``buffer`` into one ObservationChunk frame (if non-empty)."""
+    puts, rots = buffer.drain()
+    if not puts and not rots:
+        return sequence
+    sequence += 1
+    payload = encode(ObservationChunk(
+        worker_id=worker_id, sequence=sequence,
+        put_count=len(puts), rot_count=len(rots),
+        puts_blob=encode_record_batch(puts),
+        rots_blob=encode_record_batch(rots)))
+    async with writer_lock:
+        await write_frame(writer, payload)
+    return sequence
+
+
+async def _observation_flusher(buffer: ObservationBuffer,
+                               writer: asyncio.StreamWriter,
+                               writer_lock: asyncio.Lock,
+                               worker_id: int,
+                               stop: asyncio.Event) -> None:
+    """Periodically ship the observation log while closed loops run.
+
+    Stops via the event rather than cancellation so a flush is never
+    interrupted mid-frame (a half-written chunk would corrupt the control
+    stream); the final iteration after ``stop`` drains whatever the last
+    interval accumulated.
+    """
+    sequence = 0
+    while True:
+        stopping = stop.is_set()
+        sequence = await _flush_observations(buffer, writer, writer_lock,
+                                             worker_id, sequence)
+        if stopping:
+            return
+        try:
+            await asyncio.wait_for(stop.wait(), OBSERVATION_FLUSH_SECONDS)
+        except asyncio.TimeoutError:
+            pass
+
+
 async def _worker_main(spec: WorkerSpec) -> None:
     role = spec.role
     transport = TcpTransport(batch=spec.batch)
     await transport.start()
+    wants_checker = spec.enable_checker and bool(role.client_ids)
+    observations: Optional[ObservationBuffer] = (
+        ObservationBuffer()
+        if wants_checker and spec.stream_observations else None)
     cluster = RealtimeCluster(
         spec.protocol, spec.config, spec.workload,
-        enable_checker=spec.enable_checker and bool(role.client_ids),
+        enable_checker=wants_checker, checker=observations,
         workload_clients=False, transport=transport,
         server_ids=role.server_ids,
         trace=spec.trace, trace_source=f"worker-{role.worker_id}")
@@ -252,6 +341,7 @@ async def _worker_main(spec: WorkerSpec) -> None:
 
     reader, writer = await asyncio.open_connection(
         spec.control_host, spec.control_port)
+    writer_lock = asyncio.Lock()
     result_sent = False
     try:
         await write_frame(writer, encode(WorkerHello(
@@ -265,7 +355,9 @@ async def _worker_main(spec: WorkerSpec) -> None:
                 transport.set_peers({entry.addr: (entry.host, entry.port)
                                      for entry in message.entries})
                 await cluster.start(wall_epoch=message.wall_epoch)
-                await write_frame(writer, encode(WorkerReady(role.worker_id)))
+                async with writer_lock:
+                    await write_frame(writer,
+                                      encode(WorkerReady(role.worker_id)))
             elif isinstance(message, StartRun):
                 if cluster.clients:
                     # Re-anchor the warmup window at traffic start: the
@@ -273,16 +365,39 @@ async def _worker_main(spec: WorkerSpec) -> None:
                     # first operation.
                     cluster.metrics.warmup_seconds = (
                         cluster.clock.now + spec.config.warmup_seconds)
-                    await drive_closed_loops(cluster,
-                                             message.duration_seconds)
-                    await write_frame(writer, encode(
-                        _collect_result(cluster, role.worker_id)))
+                    if observations is not None:
+                        stop_flusher = asyncio.Event()
+                        flusher = asyncio.ensure_future(_observation_flusher(
+                            observations, writer, writer_lock,
+                            role.worker_id, stop_flusher))
+                        flusher_error: Optional[BaseException] = None
+                        try:
+                            await drive_closed_loops(
+                                cluster, message.duration_seconds)
+                        finally:
+                            stop_flusher.set()
+                            # Swallowing into a variable keeps a run failure
+                            # (the more fundamental error) from being
+                            # replaced by a flusher failure mid-finally.
+                            try:
+                                await flusher
+                            except Exception as exc:  # noqa: BLE001
+                                flusher_error = exc
+                        if flusher_error is not None:
+                            raise flusher_error
+                    else:
+                        await drive_closed_loops(cluster,
+                                                 message.duration_seconds)
+                    async with writer_lock:
+                        await write_frame(writer, encode(
+                            _collect_result(cluster, role.worker_id)))
                     result_sent = True
             elif isinstance(message, Shutdown):
                 await cluster.stop()
                 if not result_sent:
-                    await write_frame(writer, encode(
-                        _collect_result(cluster, role.worker_id)))
+                    async with writer_lock:
+                        await write_frame(writer, encode(
+                            _collect_result(cluster, role.worker_id)))
                     result_sent = True
                 break
             else:
@@ -291,8 +406,9 @@ async def _worker_main(spec: WorkerSpec) -> None:
                     f"control message {type(message).__name__}")
     except Exception:  # noqa: BLE001 - reported to the parent, then re-raised
         try:
-            await write_frame(writer, encode(WorkerError(
-                role.worker_id, traceback.format_exc())))
+            async with writer_lock:
+                await write_frame(writer, encode(WorkerError(
+                    role.worker_id, traceback.format_exc())))
         except (OSError, RuntimeError):
             pass
         raise
@@ -342,6 +458,7 @@ class ProcessCluster:
     def __init__(self, protocol: str, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadParameters] = None, *,
                  enable_checker: bool = False,
+                 checker: object = None,
                  workload_clients: bool = True,
                  batch: BatchOption = None,
                  trace: bool = False) -> None:
@@ -359,7 +476,24 @@ class ProcessCluster:
                 f"transport; supported: {list(spec.transports)}")
         self.roles = default_placement(config,
                                        workload_clients=workload_clients)
+        # ``checker`` selects the run-wide validation strategy: None or
+        # "monolithic" buffers every worker's history in one
+        # CausalConsistencyChecker at shutdown; "streaming" (or an explicit
+        # StreamingChecker instance) makes workers ship ObservationChunk
+        # frames during the run and the parent verify GSS windows on the
+        # fly — bounded memory on both sides.
+        if isinstance(checker, str):
+            if checker not in ("monolithic", "streaming"):
+                raise ConfigurationError(
+                    f"unknown checker {checker!r}; known: "
+                    f"['monolithic', 'streaming']")
+            checker = StreamingChecker() if checker == "streaming" else None
+        self._checker_instance = checker
+        enable_checker = enable_checker or checker is not None
         self._enable_checker = enable_checker
+        self.streaming_observations = isinstance(checker, StreamingChecker)
+        #: ObservationChunk frames folded into the streaming checker so far.
+        self.chunks_ingested = 0
         self._trace = trace
         #: One policy for the whole mesh: every worker transport and the
         #: parent's view transport flush identically.
@@ -373,6 +507,7 @@ class ProcessCluster:
         #: run-wide aggregation target.
         self.view = RealtimeCluster(
             protocol, config, workload, enable_checker=enable_checker,
+            checker=self._checker_instance,
             workload_clients=False, transport=TcpTransport(batch=self._batch),
             server_ids=(), trace=trace, trace_source="parent")
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
@@ -472,6 +607,13 @@ class ProcessCluster:
                             f"{type(message).__name__}, expected WorkerHello")
                     worker_id = message.worker_id
                     self._writers[worker_id] = writer
+                if isinstance(message, ObservationChunk):
+                    # Fed straight into the streaming checker instead of the
+                    # queue: ingestion (and window verification) overlaps the
+                    # run, and the per-connection FIFO guarantees every chunk
+                    # lands before the worker's final WorkerResult.
+                    self._ingest_chunk(message)
+                    continue
                 self._queue_for(worker_id).put_nowait(message)
         except asyncio.CancelledError:
             return
@@ -480,6 +622,26 @@ class ProcessCluster:
         finally:
             if worker_id is not None:
                 self._queue_for(worker_id).put_nowait(_ConnectionClosed(error))
+
+    def _ingest_chunk(self, chunk: ObservationChunk) -> None:
+        """Fold one streamed observation chunk into the streaming checker."""
+        checker = self.view.checker
+        if not isinstance(checker, StreamingChecker):
+            raise RuntimeBackendError(
+                f"worker {chunk.worker_id} streamed an ObservationChunk but "
+                f"the parent checker is "
+                f"{type(checker).__name__ if checker else 'disabled'}")
+        puts = decode_record_batch(chunk.puts_blob)
+        rots = decode_record_batch(chunk.rots_blob)
+        if len(puts) != chunk.put_count or len(rots) != chunk.rot_count:
+            raise WireFormatError(
+                f"observation chunk {chunk.sequence} from worker "
+                f"{chunk.worker_id} announced {chunk.put_count} puts / "
+                f"{chunk.rot_count} rots but carries {len(puts)} / "
+                f"{len(rots)}")
+        checker.record_history(puts, rots,
+                               source=f"worker-{chunk.worker_id}")
+        self.chunks_ingested += 1
 
     async def _expect(self, worker_id: int, expected: type, timeout: float):
         """The next control message from ``worker_id``, of the given type.
@@ -573,7 +735,8 @@ class ProcessCluster:
                 workload=self.workload, role=role,
                 control_host="127.0.0.1", control_port=control_port,
                 enable_checker=self._enable_checker,
-                trace=self._trace, batch=self._batch)
+                trace=self._trace, batch=self._batch,
+                stream_observations=self.streaming_observations)
             process = context.Process(target=worker_entry, args=(spec,),
                                       daemon=True)
             process.start()
@@ -686,6 +849,8 @@ class ProcessCluster:
 
 
 __all__ = [
+    "OBSERVATION_FLUSH_SECONDS",
+    "ObservationChunk",
     "PeerEntry",
     "PeerTable",
     "ProcessCluster",

@@ -151,6 +151,52 @@ def encode_batch(envelopes: Sequence) -> bytes:
     return bytes(out)
 
 
+def encode_record_batch(records: Sequence) -> bytes:
+    """Encode a homogeneous record sequence as one compact blob.
+
+    The observation-streaming path ships ``RecordedPut``/``RecordedRot``
+    chunks from worker processes with the same columnar struct-array layout
+    batch frames use for envelope runs — a u32 total count followed by one
+    struct array per ``MAX_STRUCT_ARRAY``-bounded slice.  An empty sequence
+    encodes as zero bytes (chunks are routinely one-sided: a drain interval
+    may carry only puts or only rots).
+    """
+    if not records:
+        return b""
+    out = bytearray(_pack_u32(len(records)))
+    start = 0
+    while start < len(records):
+        end = min(start + MAX_STRUCT_ARRAY, len(records))
+        encode_struct_array(list(records[start:end]), out)
+        start = end
+    return bytes(out)
+
+
+def decode_record_batch(blob: bytes) -> list:
+    """Decode one :func:`encode_record_batch` blob back into records."""
+    if not blob:
+        return []
+    if len(blob) < 4:
+        raise WireFormatError(
+            f"record batch too short ({len(blob)} bytes); need the 4-byte "
+            f"count prefix")
+    count = _unpack_u32(blob, 0)[0]
+    mv = memoryview(blob)
+    pos = 4
+    records: list = []
+    while len(records) < count:
+        values, pos = decode_struct_array(blob, mv, pos)
+        records.extend(values)
+    if len(records) != count:
+        raise WireFormatError(
+            f"record batch announced {count} records but carries "
+            f"{len(records)}")
+    if pos != len(blob):
+        raise WireFormatError(
+            f"{len(blob) - pos} trailing bytes after the record batch")
+    return records
+
+
 def decode_batch_payload(data: bytes) -> BatchFrame:
     """Decode one batch frame body (header already validated by ``decode``)."""
     if len(data) < 9:
@@ -207,4 +253,6 @@ __all__ = [
     "MIN_COLUMNAR_RUN",
     "encode_batch",
     "decode_batch_payload",
+    "decode_record_batch",
+    "encode_record_batch",
 ]

@@ -152,3 +152,43 @@ class TestReportAndBookkeeping:
         report = checker.check()
         assert report.ok
         report.raise_if_violations()  # should not raise
+
+
+class TestFrontierMemoization:
+    """The per-check frontier caches must not leak across record calls."""
+
+    def test_check_twice_with_recording_in_between(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("y", 1, seq=1))
+        checker.record_put(put("x", 2, seq=2, deps=[("y", 1, 0)]))
+        first = checker.check()
+        assert first.ok
+        # The violating ROT arrives only after the first check has warmed
+        # the caches; a stale cache would miss the violation.
+        checker.record_rot(rot("t", [("x", 2, 0), ("y", 0, 0)]))
+        second = checker.check()
+        assert len(second.snapshot_violations) == 1
+
+    def test_late_put_extends_an_already_cached_frontier(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("x", 3, client="w", seq=1))
+        checker.record_rot(rot("t1", [("x", 3, 0)], client="rd", seq=1))
+        assert checker.check().ok
+        # x@4 depends on x@3; the reader then goes backwards to x@3.  The
+        # ancestor relation only exists once x@4 is recorded, so the caches
+        # warmed by the first check() must be refreshed.
+        checker.record_put(put("x", 4, client="w", seq=2,
+                               deps=[("x", 3, 0)]))
+        checker.record_rot(rot("t2", [("x", 4, 0)], client="rd", seq=2))
+        checker.record_rot(rot("t3", [("x", 3, 0)], client="rd", seq=3))
+        report = checker.check()
+        assert len(report.session_violations) == 1
+
+    def test_repeated_checks_are_stable(self):
+        checker = CausalConsistencyChecker()
+        checker.record_put(put("y", 1, seq=1))
+        checker.record_put(put("x", 2, seq=2, deps=[("y", 1, 0)]))
+        checker.record_rot(rot("t", [("x", 2, 0), ("y", 0, 0)]))
+        first = checker.check()
+        second = checker.check()
+        assert first.snapshot_violations == second.snapshot_violations
